@@ -1,0 +1,45 @@
+"""Voyager-style hierarchical neural data prefetcher.
+
+A pure-NumPy reproduction of "A Hierarchical Neural Model of Data
+Prefetching" (Shi et al., ASPLOS 2021).  The package is layered:
+
+- trace layer: :mod:`voyager.traces`, :mod:`voyager.vocab`,
+  :mod:`voyager.synthetic`
+- model layer: :mod:`voyager.embeddings`, :mod:`voyager.model`
+- training/eval layer: :mod:`voyager.labeling`, :mod:`voyager.train`,
+  :mod:`voyager.eval`
+- baseline layer: :mod:`voyager.baselines`
+"""
+
+from voyager.baselines import NextLinePrefetcher, StridePrefetcher
+from voyager.labeling import LabelConfig, make_labels
+from voyager.model import HierarchicalModel, ModelConfig
+from voyager.traces import (
+    BLOCK_BITS,
+    NUM_OFFSETS,
+    MemoryAccess,
+    join_address,
+    parse_trace,
+    parse_trace_line,
+    split_address,
+)
+from voyager.vocab import Vocab
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "BLOCK_BITS",
+    "NUM_OFFSETS",
+    "HierarchicalModel",
+    "LabelConfig",
+    "MemoryAccess",
+    "ModelConfig",
+    "NextLinePrefetcher",
+    "StridePrefetcher",
+    "Vocab",
+    "join_address",
+    "make_labels",
+    "parse_trace",
+    "parse_trace_line",
+    "split_address",
+]

@@ -1,0 +1,8 @@
+"""Module entrypoint for ``python -m voyager``."""
+
+import sys
+
+from voyager.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,143 @@
+"""Command-line entrypoint: ``python -m voyager``.
+
+Two modes:
+
+- ``python -m voyager --gen stride --out trace.txt -n 2000`` writes a
+  synthetic trace file;
+- ``python -m voyager --trace trace.txt --steps 200`` trains the
+  hierarchical model on a trace and prints page/offset accuracy.
+
+All randomness is seeded, so repeated runs with the same arguments
+print identical numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from voyager import synthetic
+from voyager.baselines import (
+    NextLinePrefetcher,
+    StridePrefetcher,
+    evaluate_baseline,
+)
+from voyager.eval import evaluate
+from voyager.labeling import LabelConfig
+from voyager.model import HierarchicalModel, ModelConfig
+from voyager.traces import TraceParseError, parse_trace, write_trace
+from voyager.train import build_dataset, train
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="voyager",
+        description="Hierarchical neural data prefetcher (pure NumPy).",
+    )
+    parser.add_argument("--trace", help="path to a pc,address trace file")
+    parser.add_argument(
+        "--gen",
+        choices=synthetic.WORKLOADS,
+        help="generate a synthetic trace instead of training",
+    )
+    parser.add_argument("--out", help="output path for --gen")
+    parser.add_argument(
+        "-n", "--length", type=int, default=2000, help="trace length for --gen"
+    )
+    parser.add_argument("--steps", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--history", type=int, default=8)
+    parser.add_argument("--embed-dim", type=int, default=16)
+    parser.add_argument("--hidden-dim", type=int, default=32)
+    parser.add_argument("--batch-size", type=int, default=32)
+    parser.add_argument("--lr", type=float, default=1e-2)
+    parser.add_argument("--window", type=int, default=4)
+    parser.add_argument("--spatial-radius", type=int, default=1)
+    parser.add_argument("--pc-cap", type=int, default=1024)
+    parser.add_argument("--page-cap", type=int, default=1024)
+    parser.add_argument(
+        "--no-baselines",
+        action="store_true",
+        help="skip the next-line/stride baseline comparison",
+    )
+    return parser
+
+
+def run_training(args: argparse.Namespace) -> int:
+    trace = parse_trace(args.trace)
+    dataset = build_dataset(
+        trace,
+        history=args.history,
+        label_config=LabelConfig(
+            window=args.window, spatial_radius=args.spatial_radius
+        ),
+        pc_cap=args.pc_cap,
+        page_cap=args.page_cap,
+    )
+    config = ModelConfig(
+        pc_vocab_size=dataset.pc_vocab.size,
+        page_vocab_size=dataset.page_vocab.size,
+        embed_dim=args.embed_dim,
+        hidden_dim=args.hidden_dim,
+        history=args.history,
+        seed=args.seed,
+    )
+    model = HierarchicalModel(config)
+    print(
+        f"trace={args.trace} accesses={len(trace)} examples={len(dataset)} "
+        f"params={model.num_parameters()}"
+    )
+    result = train(
+        model,
+        dataset,
+        steps=args.steps,
+        batch_size=args.batch_size,
+        lr=args.lr,
+        seed=args.seed,
+    )
+    metrics = evaluate(model, dataset)
+    print(
+        f"loss={result.final_loss:.6f} "
+        f"page_acc={metrics.page_accuracy:.4f} "
+        f"offset_acc={metrics.offset_accuracy:.4f} "
+        f"full_acc={metrics.full_accuracy:.4f} "
+        f"coverage={metrics.label_coverage:.4f}"
+    )
+    if not args.no_baselines:
+        skip = args.history - 1
+        for name, pf in (
+            ("next_line", NextLinePrefetcher()),
+            ("stride", StridePrefetcher()),
+        ):
+            base = evaluate_baseline(pf, trace, skip=skip)
+            print(
+                f"baseline {name}: acc={base.accuracy:.4f} "
+                f"precision={base.precision:.4f} issued={base.issued}"
+            )
+    return 0
+
+
+def run_generate(args: argparse.Namespace) -> int:
+    if not args.out:
+        print("error: --gen requires --out", file=sys.stderr)
+        return 2
+    trace = synthetic.generate(args.gen, args.length, seed=args.seed)
+    write_trace(trace, args.out)
+    print(f"wrote {len(trace)} accesses to {args.out}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.gen:
+            return run_generate(args)
+        if not args.trace:
+            build_parser().print_usage(sys.stderr)
+            print("error: provide --trace or --gen", file=sys.stderr)
+            return 2
+        return run_training(args)
+    except (TraceParseError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

@@ -1,0 +1,108 @@
+"""Embedding tables and the page-aware offset attention.
+
+The distinguishing mechanism of the hierarchical model is that the
+*offset* embedding is not a plain lookup: each offset owns ``K``
+candidate embedding vectors, and the page embedding acts as an
+attention query that mixes the candidates.  The same block offset can
+therefore mean different things on different pages (the "page-aware
+offset embedding" of Shi et al.).
+
+Everything is plain NumPy with explicit forward/backward passes so the
+whole model is dependency-free and deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+def init_embedding(
+    rng: np.random.Generator, shape: Tuple[int, ...], scale: float = 0.1
+) -> np.ndarray:
+    """Seeded Gaussian init used for every embedding table."""
+    return (rng.standard_normal(shape) * scale).astype(np.float64)
+
+
+def embedding_forward(table: np.ndarray, ids: np.ndarray) -> np.ndarray:
+    """Plain lookup: ``table[ids]``."""
+    return table[ids]
+
+
+def embedding_backward(
+    table: np.ndarray, ids: np.ndarray, grad_out: np.ndarray
+) -> np.ndarray:
+    """Scatter-add gradient for a lookup (duplicate ids accumulate)."""
+    grad = np.zeros_like(table)
+    np.add.at(grad, ids, grad_out)
+    return grad
+
+
+def page_aware_offset_forward(
+    offset_table: np.ndarray,  # (num_offsets, K, d)
+    w_query: np.ndarray,  # (d, d)
+    page_emb: np.ndarray,  # (B, H, d)
+    offset_ids: np.ndarray,  # (B, H) int
+) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+    """Mix each offset's K candidate embeddings under a page query.
+
+    Returns the attended offset embedding ``(B, H, d)`` and a cache for
+    the backward pass.
+    """
+    d = offset_table.shape[-1]
+    cand = offset_table[offset_ids]  # (B, H, K, d)
+    query = page_emb @ w_query  # (B, H, d)
+    scores = np.einsum("bhd,bhkd->bhk", query, cand) / np.sqrt(d)
+    scores -= scores.max(axis=-1, keepdims=True)
+    exp = np.exp(scores)
+    alpha = exp / exp.sum(axis=-1, keepdims=True)  # (B, H, K)
+    out = np.einsum("bhk,bhkd->bhd", alpha, cand)
+    cache = {
+        "cand": cand,
+        "query": query,
+        "alpha": alpha,
+        "page_emb": page_emb,
+        "offset_ids": offset_ids,
+    }
+    return out, cache
+
+
+def page_aware_offset_backward(
+    offset_table: np.ndarray,
+    w_query: np.ndarray,
+    grad_out: np.ndarray,  # (B, H, d)
+    cache: Dict[str, np.ndarray],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Backward pass of :func:`page_aware_offset_forward`.
+
+    Returns ``(grad_offset_table, grad_w_query, grad_page_emb)``.
+    """
+    d = offset_table.shape[-1]
+    cand = cache["cand"]
+    alpha = cache["alpha"]
+    query = cache["query"]
+    page_emb = cache["page_emb"]
+    offset_ids = cache["offset_ids"]
+
+    # out = sum_k alpha_k * cand_k
+    grad_alpha = np.einsum("bhd,bhkd->bhk", grad_out, cand)
+    grad_cand = alpha[..., None] * grad_out[:, :, None, :]
+
+    # softmax backward over k
+    grad_scores = alpha * (
+        grad_alpha - (grad_alpha * alpha).sum(axis=-1, keepdims=True)
+    )
+    grad_scores /= np.sqrt(d)
+
+    grad_query = np.einsum("bhk,bhkd->bhd", grad_scores, cand)
+    grad_cand += grad_scores[..., None] * query[:, :, None, :]
+
+    grad_table = np.zeros_like(offset_table)
+    np.add.at(grad_table, offset_ids, grad_cand)
+
+    flat_page = page_emb.reshape(-1, d)
+    flat_gq = grad_query.reshape(-1, d)
+    grad_w_query = flat_page.T @ flat_gq
+    grad_page_emb = grad_query @ w_query.T
+    return grad_table, grad_w_query, grad_page_emb

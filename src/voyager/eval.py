@@ -1,0 +1,77 @@
+"""Accuracy and coverage metrics for models and baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from voyager.model import HierarchicalModel
+from voyager.train import Dataset
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """Next-access prediction quality on a dataset."""
+
+    page_accuracy: float
+    offset_accuracy: float
+    full_accuracy: float  # both page and offset correct
+    label_coverage: float  # prediction fell anywhere in the label set
+    n: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "page_accuracy": self.page_accuracy,
+            "offset_accuracy": self.offset_accuracy,
+            "full_accuracy": self.full_accuracy,
+            "label_coverage": self.label_coverage,
+        }
+
+
+def evaluate(
+    model: HierarchicalModel,
+    dataset: Dataset,
+    batch_size: int = 256,
+) -> EvalResult:
+    """Argmax next-access accuracy of both heads over a dataset."""
+    n = len(dataset)
+    page_preds = np.empty(n, dtype=np.int64)
+    off_preds = np.empty(n, dtype=np.int64)
+    for start in range(0, n, batch_size):
+        sl = slice(start, min(start + batch_size, n))
+        pg, off = model.predict(
+            dataset.pc_ids[sl], dataset.page_ids[sl], dataset.offset_ids[sl]
+        )
+        page_preds[sl] = pg
+        off_preds[sl] = off
+
+    page_ok = page_preds == dataset.next_page_ids
+    off_ok = off_preds == dataset.next_offsets
+    # A prediction "covers" when the predicted (page, offset) pair has
+    # non-zero mass in the multi-label target distribution.
+    rows = np.arange(n)
+    covered = (dataset.page_targets[rows, page_preds] > 0) & (
+        dataset.offset_targets[rows, off_preds] > 0
+    )
+    return EvalResult(
+        page_accuracy=float(page_ok.mean()),
+        offset_accuracy=float(off_ok.mean()),
+        full_accuracy=float((page_ok & off_ok).mean()),
+        label_coverage=float(covered.mean()),
+        n=n,
+    )
+
+
+def accuracy(predictions: Sequence[int], truths: Sequence[int]) -> float:
+    """Fraction of exact matches (helper shared with baselines)."""
+    preds = np.asarray(predictions)
+    truth = np.asarray(truths)
+    if preds.shape != truth.shape:
+        raise ValueError(
+            f"shape mismatch: {preds.shape} vs {truth.shape}"
+        )
+    if preds.size == 0:
+        return 0.0
+    return float((preds == truth).mean())

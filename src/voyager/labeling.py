@@ -1,0 +1,110 @@
+"""Multi-label target construction (spatial + co-occurrence labels).
+
+A single "correct next address" is an unnecessarily harsh target for a
+prefetcher: fetching a spatial neighbor of the true next access, or any
+line touched shortly after, still produces a useful prefetch.  Following
+the paper's multi-label scheme, every training position gets a *set* of
+acceptable ``(page, offset)`` labels:
+
+- the true next access (always present, listed first);
+- **spatial labels**: same-page neighbors of the next access within
+  ``spatial_radius`` blocks;
+- **co-occurrence labels**: the accesses in the next ``window`` trace
+  positions after the immediate next one.
+
+Targets are encoded as uniform distributions over the label set so the
+model's softmax cross-entropy applies unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from voyager.traces import NUM_OFFSETS, MemoryAccess
+
+
+@dataclass(frozen=True)
+class LabelConfig:
+    """Knobs of the multi-label scheme."""
+
+    window: int = 4  # co-occurrence look-ahead (accesses after the next)
+    spatial_radius: int = 1  # +/- blocks around the next access, same page
+    primary_weight: float = 0.5  # target mass on the true next access
+
+
+def make_labels(
+    trace: Sequence[MemoryAccess],
+    index: int,
+    config: LabelConfig = LabelConfig(),
+) -> List[Tuple[int, int]]:
+    """Label set for predicting the access after ``trace[index]``.
+
+    Returns ``(page, offset)`` pairs; the true next access is always
+    first.  Raises ``IndexError`` when there is no next access.
+    """
+    if index + 1 >= len(trace):
+        raise IndexError(
+            f"index {index} has no successor in trace of length {len(trace)}"
+        )
+    nxt = trace[index + 1]
+    labels: List[Tuple[int, int]] = [(nxt.page, nxt.offset)]
+    seen = {labels[0]}
+
+    for delta in range(-config.spatial_radius, config.spatial_radius + 1):
+        if delta == 0:
+            continue
+        off = nxt.offset + delta
+        if 0 <= off < NUM_OFFSETS:
+            lab = (nxt.page, off)
+            if lab not in seen:
+                seen.add(lab)
+                labels.append(lab)
+
+    stop = min(index + 2 + config.window, len(trace))
+    for j in range(index + 2, stop):
+        lab = (trace[j].page, trace[j].offset)
+        if lab not in seen:
+            seen.add(lab)
+            labels.append(lab)
+    return labels
+
+
+def labels_to_distributions(
+    label_sets: Sequence[Sequence[Tuple[int, int]]],
+    page_ids_of,
+    page_vocab_size: int,
+    num_offsets: int = NUM_OFFSETS,
+    primary_weight: float = 0.5,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Encode label sets as per-head target distributions.
+
+    The first label of each set (the true next access, by
+    :func:`make_labels` contract) receives ``primary_weight`` of the
+    mass; the remaining spatial/co-occurrence labels share the rest, so
+    the argmax prediction is pulled toward the true next access while
+    near-misses still earn credit.  ``page_ids_of`` maps raw page
+    numbers to vocab ids (e.g. ``vocab.encode``); out-of-vocabulary
+    pages fall into the OOV id so rows still sum to one.
+    """
+    if not 0.0 < primary_weight <= 1.0:
+        raise ValueError(
+            f"primary_weight must be in (0, 1], got {primary_weight}"
+        )
+    B = len(label_sets)
+    page_t = np.zeros((B, page_vocab_size))
+    off_t = np.zeros((B, num_offsets))
+    for b, labels in enumerate(label_sets):
+        if not labels:
+            raise ValueError(f"empty label set at position {b}")
+        if len(labels) == 1:
+            weights = [1.0]
+        else:
+            rest = (1.0 - primary_weight) / (len(labels) - 1)
+            weights = [primary_weight] + [rest] * (len(labels) - 1)
+        for (page, offset), w in zip(labels, weights):
+            page_t[b, page_ids_of(page)] += w
+            off_t[b, offset] += w
+    return page_t, off_t

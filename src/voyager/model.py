@@ -1,0 +1,272 @@
+"""The hierarchical predictor: embeddings -> attention -> LSTM -> dual heads.
+
+Pure-NumPy implementation with explicit backprop-through-time so the
+model is deterministic under a fixed seed and runs anywhere.  The
+architecture follows Shi et al. (ASPLOS 2021):
+
+- PC, page and offset embeddings for each history position;
+- the offset embedding is page-aware via candidate attention
+  (:mod:`voyager.embeddings`);
+- the concatenated features feed a shared single-layer LSTM body;
+- the final hidden state feeds two independent softmax heads, one over
+  the page vocabulary and one over the 64 block offsets.
+
+Training targets are *distributions* (multi-label sets normalised to
+sum to one), so the same cross-entropy machinery serves both plain
+next-access and the spatial/co-occurrence labeling schemes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from voyager.embeddings import (
+    embedding_backward,
+    embedding_forward,
+    init_embedding,
+    page_aware_offset_backward,
+    page_aware_offset_forward,
+)
+from voyager.traces import NUM_OFFSETS
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Hyperparameters of :class:`HierarchicalModel`."""
+
+    pc_vocab_size: int
+    page_vocab_size: int
+    num_offsets: int = NUM_OFFSETS
+    embed_dim: int = 16
+    hidden_dim: int = 32
+    history: int = 8
+    attention_candidates: int = 4
+    seed: int = 0
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+class HierarchicalModel:
+    """Hierarchical page/offset predictor with a shared LSTM body."""
+
+    def __init__(self, config: ModelConfig):
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        d, h = config.embed_dim, config.hidden_dim
+        in_dim = 3 * d
+        scale = 1.0 / np.sqrt(h)
+        self.params: Dict[str, np.ndarray] = {
+            "pc_embed": init_embedding(rng, (config.pc_vocab_size, d)),
+            "page_embed": init_embedding(rng, (config.page_vocab_size, d)),
+            "offset_embed": init_embedding(
+                rng, (config.num_offsets, config.attention_candidates, d)
+            ),
+            "w_query": init_embedding(rng, (d, d)),
+            "w_x": init_embedding(rng, (in_dim, 4 * h), 1.0 / np.sqrt(in_dim)),
+            "w_h": init_embedding(rng, (h, 4 * h), scale),
+            "b_lstm": np.zeros(4 * h),
+            "w_page": init_embedding(rng, (h, config.page_vocab_size), scale),
+            "b_page": np.zeros(config.page_vocab_size),
+            "w_offset": init_embedding(rng, (h, config.num_offsets), scale),
+            "b_offset": np.zeros(config.num_offsets),
+        }
+        # Positive forget-gate bias: standard trick for trainable LSTMs.
+        self.params["b_lstm"][h : 2 * h] = 1.0
+
+    # ------------------------------------------------------------------
+    # forward
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        pc_ids: np.ndarray,
+        page_ids: np.ndarray,
+        offset_ids: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, Dict]:
+        """Run the model on ``(B, H)`` id arrays.
+
+        Returns ``(page_probs, offset_probs, cache)`` where the probs
+        are ``(B, page_vocab)`` / ``(B, num_offsets)`` softmax outputs.
+        """
+        p = self.params
+        cfg = self.config
+        h_dim = cfg.hidden_dim
+        B, H = pc_ids.shape
+        if H != cfg.history:
+            raise ValueError(
+                f"expected history length {cfg.history}, got {H}"
+            )
+
+        pc_emb = embedding_forward(p["pc_embed"], pc_ids)
+        page_emb = embedding_forward(p["page_embed"], page_ids)
+        off_emb, attn_cache = page_aware_offset_forward(
+            p["offset_embed"], p["w_query"], page_emb, offset_ids
+        )
+        x = np.concatenate([pc_emb, page_emb, off_emb], axis=-1)  # (B,H,3d)
+
+        h_t = np.zeros((B, h_dim))
+        c_t = np.zeros((B, h_dim))
+        steps = []
+        for t in range(H):
+            a = x[:, t, :] @ p["w_x"] + h_t @ p["w_h"] + p["b_lstm"]
+            i_g = _sigmoid(a[:, :h_dim])
+            f_g = _sigmoid(a[:, h_dim : 2 * h_dim])
+            g_g = np.tanh(a[:, 2 * h_dim : 3 * h_dim])
+            o_g = _sigmoid(a[:, 3 * h_dim :])
+            c_prev = c_t
+            c_t = f_g * c_prev + i_g * g_g
+            tanh_c = np.tanh(c_t)
+            h_prev = h_t
+            h_t = o_g * tanh_c
+            steps.append(
+                {
+                    "i": i_g,
+                    "f": f_g,
+                    "g": g_g,
+                    "o": o_g,
+                    "c_prev": c_prev,
+                    "h_prev": h_prev,
+                    "tanh_c": tanh_c,
+                    "x": x[:, t, :],
+                }
+            )
+
+        page_logits = h_t @ p["w_page"] + p["b_page"]
+        offset_logits = h_t @ p["w_offset"] + p["b_offset"]
+        page_probs = softmax(page_logits)
+        offset_probs = softmax(offset_logits)
+        cache = {
+            "pc_ids": pc_ids,
+            "page_ids": page_ids,
+            "attn": attn_cache,
+            "steps": steps,
+            "h_final": h_t,
+            "page_probs": page_probs,
+            "offset_probs": offset_probs,
+        }
+        return page_probs, offset_probs, cache
+
+    # ------------------------------------------------------------------
+    # loss + backward
+    # ------------------------------------------------------------------
+    def loss_and_grads(
+        self,
+        pc_ids: np.ndarray,
+        page_ids: np.ndarray,
+        offset_ids: np.ndarray,
+        page_targets: np.ndarray,
+        offset_targets: np.ndarray,
+    ) -> Tuple[float, Dict[str, np.ndarray]]:
+        """Mean cross-entropy of both heads plus gradients for Adam.
+
+        ``page_targets``/``offset_targets`` are target *distributions*
+        of shape ``(B, page_vocab)`` / ``(B, num_offsets)`` (rows sum to
+        one; multi-label sets are uniform over their members).
+        """
+        page_probs, offset_probs, cache = self.forward(
+            pc_ids, page_ids, offset_ids
+        )
+        B = pc_ids.shape[0]
+        eps = 1e-12
+        loss_page = -(page_targets * np.log(page_probs + eps)).sum() / B
+        loss_offset = -(offset_targets * np.log(offset_probs + eps)).sum() / B
+        loss = loss_page + loss_offset
+
+        grads = self._backward(
+            cache,
+            d_page_logits=(page_probs - page_targets) / B,
+            d_offset_logits=(offset_probs - offset_targets) / B,
+        )
+        return float(loss), grads
+
+    def _backward(
+        self,
+        cache: Dict,
+        d_page_logits: np.ndarray,
+        d_offset_logits: np.ndarray,
+    ) -> Dict[str, np.ndarray]:
+        p = self.params
+        cfg = self.config
+        h_dim = cfg.hidden_dim
+        d = cfg.embed_dim
+        steps = cache["steps"]
+        h_final = cache["h_final"]
+        B = h_final.shape[0]
+        H = len(steps)
+
+        grads = {k: np.zeros_like(v) for k, v in p.items()}
+        grads["w_page"] = h_final.T @ d_page_logits
+        grads["b_page"] = d_page_logits.sum(axis=0)
+        grads["w_offset"] = h_final.T @ d_offset_logits
+        grads["b_offset"] = d_offset_logits.sum(axis=0)
+
+        dh = d_page_logits @ p["w_page"].T + d_offset_logits @ p["w_offset"].T
+        dc = np.zeros((B, h_dim))
+        dx = np.zeros((B, H, 3 * d))
+        for t in range(H - 1, -1, -1):
+            s = steps[t]
+            do = dh * s["tanh_c"]
+            dc = dc + dh * s["o"] * (1.0 - s["tanh_c"] ** 2)
+            di = dc * s["g"]
+            dg = dc * s["i"]
+            df = dc * s["c_prev"]
+            dc = dc * s["f"]
+            da = np.concatenate(
+                [
+                    di * s["i"] * (1.0 - s["i"]),
+                    df * s["f"] * (1.0 - s["f"]),
+                    dg * (1.0 - s["g"] ** 2),
+                    do * s["o"] * (1.0 - s["o"]),
+                ],
+                axis=1,
+            )
+            grads["w_x"] += s["x"].T @ da
+            grads["w_h"] += s["h_prev"].T @ da
+            grads["b_lstm"] += da.sum(axis=0)
+            dx[:, t, :] = da @ p["w_x"].T
+            dh = da @ p["w_h"].T
+
+        d_pc_emb = dx[:, :, :d]
+        d_page_emb = dx[:, :, d : 2 * d]
+        d_off_emb = dx[:, :, 2 * d :]
+
+        g_off_table, g_w_query, g_page_from_attn = page_aware_offset_backward(
+            p["offset_embed"], p["w_query"], d_off_emb, cache["attn"]
+        )
+        grads["offset_embed"] = g_off_table
+        grads["w_query"] = g_w_query
+        d_page_emb = d_page_emb + g_page_from_attn
+
+        grads["pc_embed"] = embedding_backward(
+            p["pc_embed"], cache["pc_ids"], d_pc_emb
+        )
+        grads["page_embed"] = embedding_backward(
+            p["page_embed"], cache["page_ids"], d_page_emb
+        )
+        return grads
+
+    # ------------------------------------------------------------------
+    # inference helpers
+    # ------------------------------------------------------------------
+    def predict(
+        self,
+        pc_ids: np.ndarray,
+        page_ids: np.ndarray,
+        offset_ids: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Argmax page and offset predictions for a batch."""
+        page_probs, offset_probs, _ = self.forward(pc_ids, page_ids, offset_ids)
+        return page_probs.argmax(axis=-1), offset_probs.argmax(axis=-1)
+
+    def num_parameters(self) -> int:
+        return sum(int(v.size) for v in self.params.values())

@@ -1,0 +1,45 @@
+"""Minimal Adam optimizer over a dict of named parameter arrays."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+
+class Adam:
+    """Standard Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        params: Dict[str, np.ndarray],
+        lr: float = 1e-2,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        self.params = params
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.t = 0
+        self._m = {k: np.zeros_like(v) for k, v in params.items()}
+        self._v = {k: np.zeros_like(v) for k, v in params.items()}
+
+    def step(self, grads: Dict[str, np.ndarray]) -> None:
+        self.t += 1
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1**self.t
+        bias2 = 1.0 - b2**self.t
+        for name, param in self.params.items():
+            g = grads[name]
+            m = self._m[name]
+            v = self._v[name]
+            m *= b1
+            m += (1.0 - b1) * g
+            v *= b2
+            v += (1.0 - b2) * (g * g)
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,107 @@
+"""Deterministic synthetic workload generators for tests and demos.
+
+Each generator returns a list of :class:`~voyager.traces.MemoryAccess`
+and is fully determined by its arguments (including ``seed`` where
+randomness is involved), so fixtures and golden tests are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from voyager.traces import NUM_OFFSETS, MemoryAccess, join_address
+
+#: Names accepted by :func:`generate`.
+WORKLOADS = ("stride", "page_cycle", "random_walk")
+
+
+def stride_trace(
+    n: int,
+    stride_blocks: int = 1,
+    start_page: int = 16,
+    num_pcs: int = 1,
+    base_pc: int = 0x400000,
+) -> List[MemoryAccess]:
+    """A classic strided sweep: block address advances by a fixed stride.
+
+    With ``stride_blocks=1`` this is the next-line pattern; larger
+    strides periodically cross page boundaries.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    accesses = []
+    block = start_page * NUM_OFFSETS
+    for i in range(n):
+        pc = base_pc + 4 * (i % num_pcs)
+        page, offset = divmod(block, NUM_OFFSETS)
+        accesses.append(
+            MemoryAccess.from_pc_address(pc, join_address(page, offset))
+        )
+        block += stride_blocks
+    return accesses
+
+
+def page_cycle_trace(
+    n: int,
+    pages: int = 4,
+    start_page: int = 64,
+    page_gap: int = 7,
+    base_pc: int = 0x500000,
+) -> List[MemoryAccess]:
+    """Cycle through a fixed set of far-apart pages.
+
+    Consecutive accesses land on *different* pages separated by
+    ``page_gap`` pages, so next-line prefetching is useless, while the
+    page sequence itself is perfectly predictable — the workload the
+    hierarchical page head exists for.  The offset also cycles so the
+    offset head has a learnable signal.
+    """
+    if pages < 2:
+        raise ValueError("pages must be >= 2")
+    accesses = []
+    for i in range(n):
+        page = start_page + (i % pages) * page_gap
+        offset = (i * 3) % NUM_OFFSETS
+        pc = base_pc + 4 * (i % pages)
+        accesses.append(
+            MemoryAccess.from_pc_address(pc, join_address(page, offset))
+        )
+    return accesses
+
+
+def random_walk_trace(
+    n: int,
+    seed: int = 0,
+    pages: int = 32,
+    start_page: int = 128,
+    base_pc: int = 0x600000,
+    num_pcs: int = 4,
+) -> List[MemoryAccess]:
+    """A seeded random walk over a bounded page range (hard workload)."""
+    rng = np.random.default_rng(seed)
+    accesses = []
+    page = start_page
+    for _ in range(n):
+        page += int(rng.integers(-2, 3))
+        page = min(max(page, start_page), start_page + pages - 1)
+        offset = int(rng.integers(0, NUM_OFFSETS))
+        pc = base_pc + 4 * int(rng.integers(0, num_pcs))
+        accesses.append(
+            MemoryAccess.from_pc_address(pc, join_address(page, offset))
+        )
+    return accesses
+
+
+def generate(workload: str, n: int, seed: int = 0) -> List[MemoryAccess]:
+    """Generate a named workload (see :data:`WORKLOADS`)."""
+    if workload == "stride":
+        return stride_trace(n)
+    if workload == "page_cycle":
+        return page_cycle_trace(n)
+    if workload == "random_walk":
+        return random_walk_trace(n, seed=seed)
+    raise ValueError(
+        f"unknown workload {workload!r}; expected one of {WORKLOADS}"
+    )

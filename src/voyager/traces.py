@@ -1,0 +1,125 @@
+"""Trace layer: load-trace parsing and page/offset address arithmetic.
+
+A trace is a sequence of ``(pc, address)`` load events.  Addresses are
+split hierarchically: the low ``OFFSET_BITS`` of the *cache-block*
+address select a block offset within a page, and the remaining high
+bits identify the page.  Following the paper we model 64-byte blocks
+(``BLOCK_BITS = 6``) and 4 KiB pages, i.e. 64 blocks per page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, Tuple, Union
+
+#: Bits of a byte address that select a byte within a 64-byte cache block.
+BLOCK_BITS = 6
+#: Bits of a block address that select a block within a 4 KiB page.
+OFFSET_BITS = 6
+#: Number of distinct block offsets within a page (the offset vocabulary).
+NUM_OFFSETS = 1 << OFFSET_BITS
+
+
+class TraceParseError(ValueError):
+    """Raised when a trace file or line cannot be parsed."""
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """A single load event, pre-split into its hierarchical parts."""
+
+    pc: int
+    address: int  # byte address
+    page: int
+    offset: int
+
+    @classmethod
+    def from_pc_address(cls, pc: int, address: int) -> "MemoryAccess":
+        page, offset = split_address(address)
+        return cls(pc=pc, address=address, page=page, offset=offset)
+
+    @property
+    def block(self) -> int:
+        """Global cache-block address (byte address >> BLOCK_BITS)."""
+        return self.address >> BLOCK_BITS
+
+
+def split_address(address: int) -> Tuple[int, int]:
+    """Split a byte address into ``(page, offset)``.
+
+    ``page`` is the 4 KiB page number and ``offset`` the 64-byte block
+    index within that page.
+    """
+    if address < 0:
+        raise TraceParseError(f"address must be non-negative, got {address}")
+    block = address >> BLOCK_BITS
+    return block >> OFFSET_BITS, block & (NUM_OFFSETS - 1)
+
+
+def join_address(page: int, offset: int) -> int:
+    """Inverse of :func:`split_address` (up to block granularity)."""
+    if not 0 <= offset < NUM_OFFSETS:
+        raise TraceParseError(
+            f"offset must be in [0, {NUM_OFFSETS}), got {offset}"
+        )
+    if page < 0:
+        raise TraceParseError(f"page must be non-negative, got {page}")
+    return ((page << OFFSET_BITS) | offset) << BLOCK_BITS
+
+
+def _parse_int(token: str) -> int:
+    token = token.strip()
+    base = 16 if token.lower().startswith("0x") else 10
+    return int(token, base)
+
+
+def parse_trace_line(line: str, lineno: int = 0) -> MemoryAccess:
+    """Parse one ``pc,address`` (or whitespace-separated) trace line.
+
+    Accepts decimal or ``0x``-prefixed hex tokens.  Raises
+    :class:`TraceParseError` with the offending line number for empty or
+    malformed lines.
+    """
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        raise TraceParseError(f"line {lineno}: empty or comment line")
+    tokens = stripped.replace(",", " ").split()
+    if len(tokens) < 2:
+        raise TraceParseError(
+            f"line {lineno}: expected 'pc,address', got {line!r}"
+        )
+    try:
+        pc = _parse_int(tokens[0])
+        address = _parse_int(tokens[1])
+    except ValueError as exc:
+        raise TraceParseError(f"line {lineno}: {exc}") from exc
+    if pc < 0 or address < 0:
+        raise TraceParseError(
+            f"line {lineno}: pc and address must be non-negative"
+        )
+    return MemoryAccess.from_pc_address(pc, address)
+
+
+def iter_trace(lines: Iterable[str]) -> Iterator[MemoryAccess]:
+    """Yield accesses from an iterable of lines, skipping blanks/comments."""
+    for lineno, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        yield parse_trace_line(line, lineno)
+
+
+def parse_trace(source: Union[str, Path, Iterable[str]]) -> List[MemoryAccess]:
+    """Parse a full trace from a path or an iterable of lines."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as fh:
+            return list(iter_trace(fh))
+    return list(iter_trace(source))
+
+
+def write_trace(accesses: Iterable[MemoryAccess], path: Union[str, Path]) -> None:
+    """Write a trace as ``0xPC,0xADDRESS`` lines (the canonical format)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for acc in accesses:
+            fh.write(f"0x{acc.pc:x},0x{acc.address:x}\n")

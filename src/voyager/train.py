@@ -1,0 +1,150 @@
+"""Dataset encoding and the teacher-forced training loop.
+
+:func:`build_dataset` turns a raw trace into aligned id arrays plus
+multi-label target distributions; :func:`train` runs seeded
+minibatch-Adam over it.  Everything is deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from voyager.labeling import LabelConfig, labels_to_distributions, make_labels
+from voyager.model import HierarchicalModel
+from voyager.optim import Adam
+from voyager.traces import MemoryAccess
+from voyager.vocab import Vocab
+
+
+@dataclass
+class Dataset:
+    """Encoded training examples for the hierarchical model.
+
+    Row ``b`` holds the ``history`` accesses ending at trace position
+    ``positions[b]`` and the labels for the access that follows it.
+    """
+
+    pc_ids: np.ndarray  # (B, H)
+    page_ids: np.ndarray  # (B, H)
+    offset_ids: np.ndarray  # (B, H)
+    page_targets: np.ndarray  # (B, page_vocab)
+    offset_targets: np.ndarray  # (B, num_offsets)
+    next_page_ids: np.ndarray  # (B,) true next page (vocab id)
+    next_offsets: np.ndarray  # (B,) true next offset
+    positions: np.ndarray  # (B,) trace index of the last history access
+    pc_vocab: Vocab = field(repr=False)
+    page_vocab: Vocab = field(repr=False)
+
+    def __len__(self) -> int:
+        return self.pc_ids.shape[0]
+
+
+def build_vocabs(
+    trace: Sequence[MemoryAccess], pc_cap: int = 1024, page_cap: int = 1024
+) -> Tuple[Vocab, Vocab]:
+    """Fit frequency-capped PC and page vocabularies on a trace."""
+    pc_vocab = Vocab(pc_cap).fit(a.pc for a in trace)
+    page_vocab = Vocab(page_cap).fit(a.page for a in trace)
+    return pc_vocab, page_vocab
+
+
+def build_dataset(
+    trace: Sequence[MemoryAccess],
+    history: int,
+    pc_vocab: Optional[Vocab] = None,
+    page_vocab: Optional[Vocab] = None,
+    label_config: LabelConfig = LabelConfig(),
+    pc_cap: int = 1024,
+    page_cap: int = 1024,
+) -> Dataset:
+    """Encode a trace into model-ready arrays with multi-label targets."""
+    if len(trace) < history + 2:
+        raise ValueError(
+            f"trace too short: need at least {history + 2} accesses, "
+            f"got {len(trace)}"
+        )
+    if pc_vocab is None or page_vocab is None:
+        fit_pc, fit_page = build_vocabs(trace, pc_cap, page_cap)
+        pc_vocab = pc_vocab or fit_pc
+        page_vocab = page_vocab or fit_page
+
+    pcs = np.array(pc_vocab.encode_all(a.pc for a in trace), dtype=np.int64)
+    pages = np.array(
+        page_vocab.encode_all(a.page for a in trace), dtype=np.int64
+    )
+    offsets = np.array([a.offset for a in trace], dtype=np.int64)
+
+    positions = np.arange(history - 1, len(trace) - 1, dtype=np.int64)
+    B = len(positions)
+    idx = positions[:, None] - np.arange(history - 1, -1, -1)[None, :]
+    label_sets: List[list] = [
+        make_labels(trace, int(pos), label_config) for pos in positions
+    ]
+    page_targets, offset_targets = labels_to_distributions(
+        label_sets,
+        page_vocab.encode,
+        page_vocab.size,
+        primary_weight=label_config.primary_weight,
+    )
+    return Dataset(
+        pc_ids=pcs[idx],
+        page_ids=pages[idx],
+        offset_ids=offsets[idx],
+        page_targets=page_targets,
+        offset_targets=offset_targets,
+        next_page_ids=pages[positions + 1],
+        next_offsets=offsets[positions + 1],
+        positions=positions,
+        pc_vocab=pc_vocab,
+        page_vocab=page_vocab,
+    )
+
+
+@dataclass
+class TrainResult:
+    losses: List[float]
+    model: HierarchicalModel
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1]
+
+
+def train(
+    model: HierarchicalModel,
+    dataset: Dataset,
+    steps: int = 200,
+    batch_size: int = 32,
+    lr: float = 1e-2,
+    seed: int = 0,
+    log_every: int = 0,
+) -> TrainResult:
+    """Teacher-forced minibatch training with Adam.
+
+    Batches are sampled with a dedicated seeded RNG, so two calls with
+    identical arguments produce bit-identical parameter trajectories.
+    """
+    if steps < 1:
+        raise ValueError("steps must be >= 1")
+    rng = np.random.default_rng(seed)
+    opt = Adam(model.params, lr=lr)
+    n = len(dataset)
+    bs = min(batch_size, n)
+    losses: List[float] = []
+    for step in range(steps):
+        batch = rng.choice(n, size=bs, replace=False)
+        loss, grads = model.loss_and_grads(
+            dataset.pc_ids[batch],
+            dataset.page_ids[batch],
+            dataset.offset_ids[batch],
+            dataset.page_targets[batch],
+            dataset.offset_targets[batch],
+        )
+        opt.step(grads)
+        losses.append(loss)
+        if log_every and (step + 1) % log_every == 0:
+            print(f"step {step + 1:5d}  loss {loss:.4f}")
+    return TrainResult(losses=losses, model=model)

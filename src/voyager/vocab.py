@@ -1,0 +1,74 @@
+"""Capped vocabularies with out-of-vocabulary (OOV) handling.
+
+Page and PC spaces are huge; the model only embeds the most frequent
+values.  :class:`Vocab` assigns dense ids to the ``cap`` most frequent
+keys seen during :meth:`fit` and maps everything else to a reserved OOV
+id (always 0), so downstream embedding tables have a fixed, known size.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Hashable, Iterable, List
+
+#: Reserved id for out-of-vocabulary keys (and padding).
+OOV_ID = 0
+
+
+class Vocab:
+    """Frequency-capped key -> dense-id mapping with a reserved OOV id.
+
+    Ids are stable for a given input: keys are ranked by descending
+    frequency with first-appearance order breaking ties, and ids are
+    assigned 1..cap in that rank order.  Unknown or overflow keys encode
+    to :data:`OOV_ID`.
+    """
+
+    def __init__(self, cap: int):
+        if cap < 1:
+            raise ValueError(f"cap must be >= 1, got {cap}")
+        self.cap = int(cap)
+        self._key_to_id: Dict[Hashable, int] = {}
+        self._id_to_key: List[Hashable] = [None]  # index 0 = OOV
+
+    @property
+    def size(self) -> int:
+        """Total id-space size including the OOV slot."""
+        return len(self._id_to_key)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._key_to_id
+
+    def fit(self, keys: Iterable[Hashable]) -> "Vocab":
+        """Build the mapping from an iterable of keys.
+
+        Re-fitting replaces the previous mapping.
+        """
+        counts = Counter()
+        first_seen: Dict[Hashable, int] = {}
+        for pos, key in enumerate(keys):
+            counts[key] += 1
+            if key not in first_seen:
+                first_seen[key] = pos
+        ranked = sorted(
+            counts, key=lambda k: (-counts[k], first_seen[k])
+        )[: self.cap]
+        self._key_to_id = {key: i + 1 for i, key in enumerate(ranked)}
+        self._id_to_key = [None] + ranked
+        return self
+
+    def encode(self, key: Hashable) -> int:
+        """Map a key to its id, or :data:`OOV_ID` if unknown."""
+        return self._key_to_id.get(key, OOV_ID)
+
+    def encode_all(self, keys: Iterable[Hashable]) -> List[int]:
+        return [self.encode(k) for k in keys]
+
+    def decode(self, idx: int) -> Hashable:
+        """Map an id back to its key.  ``decode(OOV_ID)`` is ``None``."""
+        if not 0 <= idx < len(self._id_to_key):
+            raise KeyError(f"id {idx} out of range [0, {len(self._id_to_key)})")
+        return self._id_to_key[idx]

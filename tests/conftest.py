@@ -1,0 +1,49 @@
+"""Shared fixtures: deterministic synthetic-trace factory.
+
+Every workload fixture is seeded per-test via the ``trace_factory``
+fixture, so tests are reproducible in isolation and under ``-p
+no:randomly``-style reordering.  To add a new workload, implement a
+generator in ``voyager/synthetic.py``, register it in
+``synthetic.WORKLOADS``, and it becomes available through the factory.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from voyager import synthetic
+
+
+@pytest.fixture
+def trace_factory():
+    """Factory: ``trace_factory(workload, n=..., seed=...)`` -> trace.
+
+    Seeds default to 0 so the same call in two tests yields the same
+    trace; pass an explicit seed for variation.
+    """
+
+    def make(workload: str, n: int = 400, seed: int = 0, **kwargs):
+        if workload == "stride":
+            return synthetic.stride_trace(n, **kwargs)
+        if workload == "page_cycle":
+            return synthetic.page_cycle_trace(n, **kwargs)
+        if workload == "random_walk":
+            return synthetic.random_walk_trace(n, seed=seed, **kwargs)
+        raise ValueError(f"unknown workload {workload!r}")
+
+    return make
+
+
+@pytest.fixture
+def stride_trace_small(trace_factory):
+    return trace_factory("stride", n=400)
+
+
+@pytest.fixture
+def page_cycle_trace_small(trace_factory):
+    return trace_factory("page_cycle", n=400)
+
+
+@pytest.fixture
+def random_walk_trace_small(trace_factory):
+    return trace_factory("random_walk", n=400, seed=7)

@@ -1,0 +1,55 @@
+"""Baseline prefetcher tests."""
+
+from voyager.baselines import (
+    NextLinePrefetcher,
+    StridePrefetcher,
+    evaluate_baseline,
+)
+from voyager.synthetic import stride_trace
+
+
+def test_next_line_perfect_on_unit_stride(stride_trace_small):
+    result = evaluate_baseline(NextLinePrefetcher(), stride_trace_small)
+    assert result.accuracy == 1.0
+    assert result.precision == 1.0
+
+
+def test_next_line_useless_on_page_cycle(page_cycle_trace_small):
+    result = evaluate_baseline(NextLinePrefetcher(), page_cycle_trace_small)
+    assert result.accuracy == 0.0
+
+
+def test_stride_prefetcher_learns_non_unit_stride():
+    trace = stride_trace(200, stride_blocks=5)
+    result = evaluate_baseline(StridePrefetcher(), trace)
+    # Needs two observations to confirm the stride, then never misses.
+    assert result.accuracy > 0.95
+    assert result.precision == 1.0
+
+
+def test_stride_prefetcher_warms_up_before_predicting():
+    trace = stride_trace(5, stride_blocks=2)
+    pf = StridePrefetcher()
+    assert pf.predict(trace[0]) is None
+    pf.update(trace[0])
+    assert pf.predict(trace[1]) is None  # stride seen once, unconfirmed
+    pf.update(trace[1])
+    pf.update(trace[2])
+    assert pf.predict(trace[3]) == trace[3].block + 2
+
+
+def test_stride_table_capacity_is_bounded():
+    pf = StridePrefetcher(max_entries=2)
+    for pc in range(10):
+        pf.update(
+            stride_trace(1, base_pc=0x1000 + pc)[0]
+        )
+    assert len(pf.table) <= 2
+
+
+def test_evaluate_baseline_skip_excludes_warmup(stride_trace_small):
+    full = evaluate_baseline(NextLinePrefetcher(), stride_trace_small)
+    skipped = evaluate_baseline(
+        NextLinePrefetcher(), stride_trace_small, skip=10
+    )
+    assert skipped.n == full.n - 10

@@ -1,0 +1,80 @@
+"""CLI tests: generation mode, training mode, and run-to-run determinism."""
+
+import pytest
+
+from voyager.cli import main
+from voyager.traces import parse_trace
+
+
+@pytest.fixture
+def stride_trace_file(tmp_path):
+    path = tmp_path / "stride.txt"
+    rc = main(["--gen", "stride", "--out", str(path), "-n", "400"])
+    assert rc == 0
+    return path
+
+
+def test_gen_writes_parseable_trace(stride_trace_file):
+    trace = parse_trace(stride_trace_file)
+    assert len(trace) == 400
+    assert trace[1].block - trace[0].block == 1
+
+
+def test_gen_requires_out(capsys):
+    assert main(["--gen", "stride"]) == 2
+    assert "--out" in capsys.readouterr().err
+
+
+def test_malformed_trace_is_clean_error(tmp_path, capsys):
+    path = tmp_path / "bad.txt"
+    path.write_text("0x1,0x40\nbogus-line\n")
+    assert main(["--trace", str(path)]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "line 2" in err
+
+
+def test_missing_trace_file_is_clean_error(tmp_path, capsys):
+    assert main(["--trace", str(tmp_path / "nope.txt")]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_no_mode_is_usage_error(capsys):
+    assert main([]) == 2
+    assert "--trace or --gen" in capsys.readouterr().err
+
+
+def _train_args(path, steps="60"):
+    return [
+        "--trace",
+        str(path),
+        "--steps",
+        steps,
+        "--hidden-dim",
+        "16",
+        "--embed-dim",
+        "8",
+        "--seed",
+        "0",
+    ]
+
+
+def test_training_run_prints_metrics(stride_trace_file, capsys):
+    rc = main(_train_args(stride_trace_file))
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "page_acc=" in out and "offset_acc=" in out
+    assert "baseline next_line" in out and "baseline stride" in out
+
+
+def test_training_run_is_deterministic(stride_trace_file, capsys):
+    main(_train_args(stride_trace_file))
+    first = capsys.readouterr().out
+    main(_train_args(stride_trace_file))
+    second = capsys.readouterr().out
+    assert first == second
+
+
+def test_no_baselines_flag(stride_trace_file, capsys):
+    rc = main(_train_args(stride_trace_file) + ["--no-baselines"])
+    assert rc == 0
+    assert "baseline next_line" not in capsys.readouterr().out

@@ -1,0 +1,79 @@
+"""Golden regression: a tiny fixed-seed run pinned to checked-in values.
+
+Perf refactors of the model/training code must reproduce these numbers
+(within float tolerance for BLAS reassociation).  If a change moves
+them *intentionally* — e.g. a better init or labeling tweak — update
+the constants here in the same PR and say why in the commit message.
+
+Reference values computed with NumPy 2.4 on x86-64.
+"""
+
+import pytest
+
+from voyager.eval import evaluate
+from voyager.model import HierarchicalModel, ModelConfig
+from voyager.synthetic import page_cycle_trace
+from voyager.train import build_dataset, train
+
+GOLDEN_FIRST_LOSS = 5.772665737349572
+GOLDEN_FINAL_LOSS = 3.8399963790753286
+GOLDEN_PAGE_ACC = 0.9863013698630136
+GOLDEN_OFFSET_ACC = 0.6404109589041096
+# Loose tolerance absorbs BLAS/platform float reassociation; it is still
+# ~1000x tighter than any semantic change would move these numbers.
+LOSS_TOL = 1e-6
+ACC_TOL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def golden_run():
+    trace = page_cycle_trace(300)
+    dataset = build_dataset(trace, history=8)
+    config = ModelConfig(
+        pc_vocab_size=dataset.pc_vocab.size,
+        page_vocab_size=dataset.page_vocab.size,
+        embed_dim=8,
+        hidden_dim=16,
+        history=8,
+        seed=0,
+    )
+    model = HierarchicalModel(config)
+    result = train(model, dataset, steps=60, batch_size=32, lr=1e-2, seed=0)
+    return model, dataset, result
+
+
+def test_golden_first_loss(golden_run):
+    _, _, result = golden_run
+    assert result.losses[0] == pytest.approx(GOLDEN_FIRST_LOSS, rel=LOSS_TOL)
+
+
+def test_golden_final_loss(golden_run):
+    _, _, result = golden_run
+    assert result.final_loss == pytest.approx(GOLDEN_FINAL_LOSS, rel=LOSS_TOL)
+
+
+def test_golden_accuracies(golden_run):
+    model, dataset, _ = golden_run
+    metrics = evaluate(model, dataset)
+    assert metrics.page_accuracy == pytest.approx(GOLDEN_PAGE_ACC, abs=ACC_TOL)
+    assert metrics.offset_accuracy == pytest.approx(
+        GOLDEN_OFFSET_ACC, abs=ACC_TOL
+    )
+
+
+def test_golden_run_is_reproducible(golden_run):
+    """Re-running the identical recipe reproduces the loss bit-for-bit."""
+    _, _, first = golden_run
+    trace = page_cycle_trace(300)
+    dataset = build_dataset(trace, history=8)
+    config = ModelConfig(
+        pc_vocab_size=dataset.pc_vocab.size,
+        page_vocab_size=dataset.page_vocab.size,
+        embed_dim=8,
+        hidden_dim=16,
+        history=8,
+        seed=0,
+    )
+    model = HierarchicalModel(config)
+    rerun = train(model, dataset, steps=60, batch_size=32, lr=1e-2, seed=0)
+    assert rerun.losses == first.losses

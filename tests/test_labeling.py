@@ -1,0 +1,97 @@
+"""Tests for the multi-label (spatial + co-occurrence) labeling scheme."""
+
+import numpy as np
+import pytest
+
+from voyager.labeling import LabelConfig, labels_to_distributions, make_labels
+from voyager.traces import NUM_OFFSETS, MemoryAccess, join_address
+
+
+def _trace_from_pairs(pairs):
+    return [
+        MemoryAccess.from_pc_address(0x100, join_address(p, o))
+        for p, o in pairs
+    ]
+
+
+def test_true_next_access_is_first_label():
+    trace = _trace_from_pairs([(1, 10), (2, 20), (3, 30)])
+    labels = make_labels(trace, 0, LabelConfig(window=0, spatial_radius=0))
+    assert labels == [(2, 20)]
+
+
+def test_spatial_neighbors_included():
+    trace = _trace_from_pairs([(1, 10), (2, 20), (3, 30)])
+    labels = make_labels(trace, 0, LabelConfig(window=0, spatial_radius=2))
+    assert labels[0] == (2, 20)
+    assert set(labels) == {(2, 18), (2, 19), (2, 20), (2, 21), (2, 22)}
+
+
+def test_spatial_neighbors_clipped_at_page_edges():
+    low = _trace_from_pairs([(1, 5), (2, 0)])
+    labels = make_labels(low, 0, LabelConfig(window=0, spatial_radius=1))
+    assert (2, -1) not in labels and (2, 1) in labels
+
+    high = _trace_from_pairs([(1, 5), (2, NUM_OFFSETS - 1)])
+    labels = make_labels(high, 0, LabelConfig(window=0, spatial_radius=1))
+    assert all(o < NUM_OFFSETS for _, o in labels)
+
+
+def test_cooccurrence_window_included():
+    trace = _trace_from_pairs([(1, 1), (2, 2), (3, 3), (4, 4), (5, 5)])
+    labels = make_labels(trace, 0, LabelConfig(window=2, spatial_radius=0))
+    assert labels == [(2, 2), (3, 3), (4, 4)]
+
+
+def test_labels_deduplicated():
+    trace = _trace_from_pairs([(1, 1), (2, 2), (2, 2), (2, 3)])
+    labels = make_labels(trace, 0, LabelConfig(window=3, spatial_radius=1))
+    assert len(labels) == len(set(labels))
+
+
+def test_no_successor_raises():
+    trace = _trace_from_pairs([(1, 1), (2, 2)])
+    with pytest.raises(IndexError):
+        make_labels(trace, 1)
+
+
+class TestDistributions:
+    def test_rows_sum_to_one(self):
+        sets = [[(1, 2), (1, 3), (4, 5)], [(7, 0)]]
+        page_t, off_t = labels_to_distributions(
+            sets, page_ids_of=lambda p: p % 10, page_vocab_size=10
+        )
+        np.testing.assert_allclose(page_t.sum(axis=1), 1.0)
+        np.testing.assert_allclose(off_t.sum(axis=1), 1.0)
+
+    def test_primary_label_gets_primary_weight(self):
+        sets = [[(1, 2), (3, 4), (5, 6)]]
+        page_t, off_t = labels_to_distributions(
+            sets,
+            page_ids_of=lambda p: p,
+            page_vocab_size=8,
+            primary_weight=0.5,
+        )
+        assert page_t[0, 1] == pytest.approx(0.5)
+        assert off_t[0, 2] == pytest.approx(0.5)
+        assert page_t[0, 3] == pytest.approx(0.25)
+
+    def test_singleton_set_gets_full_mass(self):
+        page_t, off_t = labels_to_distributions(
+            [[(2, 9)]], page_ids_of=lambda p: p, page_vocab_size=4
+        )
+        assert page_t[0, 2] == 1.0
+        assert off_t[0, 9] == 1.0
+
+    def test_empty_set_and_bad_weight_rejected(self):
+        with pytest.raises(ValueError):
+            labels_to_distributions(
+                [[]], page_ids_of=lambda p: p, page_vocab_size=4
+            )
+        with pytest.raises(ValueError):
+            labels_to_distributions(
+                [[(1, 1)]],
+                page_ids_of=lambda p: p,
+                page_vocab_size=4,
+                primary_weight=0.0,
+            )

@@ -1,0 +1,102 @@
+"""Model-layer tests: distribution validity, determinism, gradients."""
+
+import numpy as np
+import pytest
+
+from voyager.model import HierarchicalModel, ModelConfig
+
+
+def tiny_config(seed: int = 1) -> ModelConfig:
+    return ModelConfig(
+        pc_vocab_size=5,
+        page_vocab_size=6,
+        num_offsets=8,
+        embed_dim=3,
+        hidden_dim=4,
+        history=3,
+        attention_candidates=2,
+        seed=seed,
+    )
+
+
+def tiny_batch(seed: int = 2, B: int = 4, H: int = 3):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.integers(0, 5, (B, H)),
+        rng.integers(0, 6, (B, H)),
+        rng.integers(0, 8, (B, H)),
+    )
+
+
+def test_output_distributions_sum_to_one():
+    model = HierarchicalModel(tiny_config())
+    pc, page, off = tiny_batch()
+    page_probs, off_probs, _ = model.forward(pc, page, off)
+    np.testing.assert_allclose(page_probs.sum(axis=1), 1.0, rtol=1e-12)
+    np.testing.assert_allclose(off_probs.sum(axis=1), 1.0, rtol=1e-12)
+    assert (page_probs >= 0).all() and (off_probs >= 0).all()
+
+
+def test_same_seed_same_outputs():
+    pc, page, off = tiny_batch()
+    a = HierarchicalModel(tiny_config(seed=3)).forward(pc, page, off)
+    b = HierarchicalModel(tiny_config(seed=3)).forward(pc, page, off)
+    np.testing.assert_array_equal(a[0], b[0])
+    np.testing.assert_array_equal(a[1], b[1])
+
+
+def test_different_seed_different_params():
+    a = HierarchicalModel(tiny_config(seed=1))
+    b = HierarchicalModel(tiny_config(seed=2))
+    assert not np.array_equal(a.params["pc_embed"], b.params["pc_embed"])
+
+
+def test_wrong_history_length_rejected():
+    model = HierarchicalModel(tiny_config())
+    pc, page, off = tiny_batch(H=5)
+    with pytest.raises(ValueError, match="history"):
+        model.forward(pc, page, off)
+
+
+def test_predict_shapes_and_ranges():
+    model = HierarchicalModel(tiny_config())
+    pc, page, off = tiny_batch(B=7)
+    pages, offsets = model.predict(pc, page, off)
+    assert pages.shape == (7,) and offsets.shape == (7,)
+    assert (pages < 6).all() and (offsets < 8).all()
+
+
+def test_num_parameters_counts_everything():
+    model = HierarchicalModel(tiny_config())
+    assert model.num_parameters() == sum(
+        v.size for v in model.params.values()
+    )
+
+
+def test_gradients_match_numerical():
+    """Analytic backprop agrees with central differences end-to-end."""
+    model = HierarchicalModel(tiny_config())
+    pc, page, off = tiny_batch(B=2)
+    rng = np.random.default_rng(4)
+    page_t = rng.random((2, 6))
+    page_t /= page_t.sum(axis=1, keepdims=True)
+    off_t = rng.random((2, 8))
+    off_t /= off_t.sum(axis=1, keepdims=True)
+
+    _, grads = model.loss_and_grads(pc, page, off, page_t, off_t)
+    eps = 1e-6
+    for name, arr in model.params.items():
+        flat_indices = rng.choice(arr.size, size=min(4, arr.size), replace=False)
+        for flat in flat_indices:
+            ix = np.unravel_index(flat, arr.shape)
+            old = arr[ix]
+            arr[ix] = old + eps
+            lp, _ = model.loss_and_grads(pc, page, off, page_t, off_t)
+            arr[ix] = old - eps
+            lm, _ = model.loss_and_grads(pc, page, off, page_t, off_t)
+            arr[ix] = old
+            numeric = (lp - lm) / (2 * eps)
+            analytic = grads[name][ix]
+            assert numeric == pytest.approx(analytic, rel=1e-3, abs=1e-7), (
+                f"gradient mismatch in {name}{ix}"
+            )

@@ -1,0 +1,50 @@
+"""Tests for the synthetic workload generators used by fixtures."""
+
+import pytest
+
+from voyager import synthetic
+from voyager.traces import NUM_OFFSETS
+
+
+def test_generators_are_deterministic(trace_factory):
+    for workload in synthetic.WORKLOADS:
+        a = trace_factory(workload, n=50, seed=3)
+        b = trace_factory(workload, n=50, seed=3)
+        assert a == b
+
+
+def test_random_walk_seed_changes_trace(trace_factory):
+    a = trace_factory("random_walk", n=50, seed=1)
+    b = trace_factory("random_walk", n=50, seed=2)
+    assert a != b
+
+
+def test_stride_advances_by_fixed_stride():
+    trace = synthetic.stride_trace(100, stride_blocks=3)
+    blocks = [a.block for a in trace]
+    assert all(b2 - b1 == 3 for b1, b2 in zip(blocks, blocks[1:]))
+
+
+def test_page_cycle_changes_page_every_access(trace_factory):
+    trace = trace_factory("page_cycle", n=100)
+    assert all(
+        a.page != b.page for a, b in zip(trace, trace[1:])
+    )
+
+
+def test_page_cycle_is_periodic():
+    trace = synthetic.page_cycle_trace(100, pages=4)
+    pages = [a.page for a in trace]
+    assert pages[:4] == pages[4:8]
+
+
+def test_offsets_always_in_range(trace_factory):
+    for workload in synthetic.WORKLOADS:
+        for acc in trace_factory(workload, n=80, seed=5):
+            assert 0 <= acc.offset < NUM_OFFSETS
+
+
+def test_generate_dispatch_and_unknown_workload():
+    assert len(synthetic.generate("stride", 10)) == 10
+    with pytest.raises(ValueError, match="unknown workload"):
+        synthetic.generate("zigzag", 10)

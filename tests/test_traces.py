@@ -1,0 +1,97 @@
+"""Unit tests for the trace layer: parsing and address arithmetic."""
+
+import numpy as np
+import pytest
+
+from voyager.traces import (
+    BLOCK_BITS,
+    NUM_OFFSETS,
+    MemoryAccess,
+    TraceParseError,
+    join_address,
+    parse_trace,
+    parse_trace_line,
+    split_address,
+    write_trace,
+)
+
+
+class TestSplitJoin:
+    def test_known_values(self):
+        # page 1, offset 2 -> byte address (1*64 + 2) * 64
+        assert split_address((1 * NUM_OFFSETS + 2) << BLOCK_BITS) == (1, 2)
+        assert split_address(0) == (0, 0)
+
+    def test_round_trip_random_addresses(self):
+        rng = np.random.default_rng(0)
+        for addr in rng.integers(0, 2**48, size=200):
+            page, offset = split_address(int(addr))
+            rebuilt = join_address(page, offset)
+            # join is exact at block granularity
+            assert split_address(rebuilt) == (page, offset)
+            assert rebuilt == (int(addr) >> BLOCK_BITS) << BLOCK_BITS
+
+    def test_offset_range(self):
+        rng = np.random.default_rng(1)
+        for addr in rng.integers(0, 2**40, size=100):
+            _, offset = split_address(int(addr))
+            assert 0 <= offset < NUM_OFFSETS
+
+    def test_join_rejects_bad_offset(self):
+        with pytest.raises(TraceParseError):
+            join_address(1, NUM_OFFSETS)
+        with pytest.raises(TraceParseError):
+            join_address(1, -1)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(TraceParseError):
+            split_address(-1)
+        with pytest.raises(TraceParseError):
+            join_address(-1, 0)
+
+
+class TestParsing:
+    def test_comma_and_space_separated(self):
+        a = parse_trace_line("0x400100,0x7f0010")
+        b = parse_trace_line("0x400100 0x7f0010")
+        assert a == b
+        assert a.pc == 0x400100
+        assert a.address == 0x7F0010
+
+    def test_decimal_tokens(self):
+        acc = parse_trace_line("1024,4096")
+        assert acc.pc == 1024
+        assert acc.address == 4096
+        assert acc.page == 1 and acc.offset == 0
+
+    def test_malformed_line_raises_with_lineno(self):
+        with pytest.raises(TraceParseError, match="line 3"):
+            parse_trace_line("just-one-token", lineno=3)
+        with pytest.raises(TraceParseError, match="line 5"):
+            parse_trace_line("0xnothex,0x10", lineno=5)
+
+    def test_empty_line_raises(self):
+        with pytest.raises(TraceParseError):
+            parse_trace_line("   ")
+
+    def test_parse_trace_skips_blanks_and_comments(self):
+        lines = ["# header", "", "0x1,0x40", "  ", "0x2,0x80"]
+        trace = parse_trace(lines)
+        assert [a.pc for a in trace] == [1, 2]
+
+    def test_parse_trace_propagates_malformed(self):
+        with pytest.raises(TraceParseError, match="line 2"):
+            parse_trace(["0x1,0x40", "bogus"])
+
+    def test_file_round_trip(self, tmp_path):
+        original = [
+            MemoryAccess.from_pc_address(0x400000 + 4 * i, 0x1000 * i)
+            for i in range(10)
+        ]
+        path = tmp_path / "trace.txt"
+        write_trace(original, path)
+        assert parse_trace(path) == original
+
+    def test_block_property(self):
+        acc = MemoryAccess.from_pc_address(0x1, 0x1040)
+        assert acc.block == 0x1040 >> BLOCK_BITS

@@ -1,0 +1,111 @@
+"""Training/eval-layer tests: dataset encoding and learning behaviour.
+
+The convergence tests use small models and a couple hundred Adam steps,
+so each runs in about a second of pure NumPy; the longer random-walk
+check is marked ``slow`` and excluded from tier-1.
+"""
+
+import numpy as np
+import pytest
+
+from voyager.baselines import NextLinePrefetcher, evaluate_baseline
+from voyager.eval import accuracy, evaluate
+from voyager.model import HierarchicalModel, ModelConfig
+from voyager.train import build_dataset, build_vocabs, train
+
+
+def _fit(trace, steps=180, seed=0, history=8, hidden=32, embed=16):
+    dataset = build_dataset(trace, history=history)
+    config = ModelConfig(
+        pc_vocab_size=dataset.pc_vocab.size,
+        page_vocab_size=dataset.page_vocab.size,
+        embed_dim=embed,
+        hidden_dim=hidden,
+        history=history,
+        seed=seed,
+    )
+    model = HierarchicalModel(config)
+    result = train(model, dataset, steps=steps, batch_size=32, seed=seed)
+    return model, dataset, result
+
+
+class TestDataset:
+    def test_shapes_and_alignment(self, stride_trace_small):
+        ds = build_dataset(stride_trace_small, history=8)
+        n = len(stride_trace_small)
+        assert len(ds) == n - 8
+        assert ds.pc_ids.shape == ds.page_ids.shape == ds.offset_ids.shape
+        assert ds.pc_ids.shape == (n - 8, 8)
+        # Row b's history ends at trace position b+7; the offset column
+        # must therefore equal the raw trace offsets.
+        offsets = [a.offset for a in stride_trace_small]
+        assert list(ds.offset_ids[0]) == offsets[:8]
+        assert ds.next_offsets[0] == offsets[8]
+
+    def test_targets_are_distributions(self, page_cycle_trace_small):
+        ds = build_dataset(page_cycle_trace_small, history=8)
+        np.testing.assert_allclose(ds.page_targets.sum(axis=1), 1.0)
+        np.testing.assert_allclose(ds.offset_targets.sum(axis=1), 1.0)
+
+    def test_too_short_trace_rejected(self, trace_factory):
+        tiny = trace_factory("stride", n=5)
+        with pytest.raises(ValueError, match="too short"):
+            build_dataset(tiny, history=8)
+
+    def test_build_vocabs_caps_respected(self, random_walk_trace_small):
+        pc_vocab, page_vocab = build_vocabs(
+            random_walk_trace_small, pc_cap=2, page_cap=3
+        )
+        assert pc_vocab.size <= 3 and page_vocab.size <= 4
+
+
+class TestTraining:
+    def test_stride_reaches_90pct_page_accuracy_under_200_steps(
+        self, stride_trace_small
+    ):
+        model, dataset, result = _fit(stride_trace_small, steps=180)
+        metrics = evaluate(model, dataset)
+        assert metrics.page_accuracy >= 0.90
+        assert result.losses[-1] < result.losses[0]
+
+    def test_neural_beats_next_line_on_page_cycle(
+        self, page_cycle_trace_small
+    ):
+        model, dataset, _ = _fit(page_cycle_trace_small, steps=180)
+        metrics = evaluate(model, dataset)
+        baseline = evaluate_baseline(
+            NextLinePrefetcher(), page_cycle_trace_small, skip=7
+        )
+        assert metrics.full_accuracy > baseline.accuracy
+        assert metrics.page_accuracy > 0.95
+
+    def test_training_is_deterministic(self, page_cycle_trace_small):
+        _, _, a = _fit(page_cycle_trace_small, steps=30)
+        _, _, b = _fit(page_cycle_trace_small, steps=30)
+        assert a.losses == b.losses
+
+    def test_invalid_steps_rejected(self, stride_trace_small):
+        ds = build_dataset(stride_trace_small, history=8)
+        model = HierarchicalModel(
+            ModelConfig(
+                pc_vocab_size=ds.pc_vocab.size,
+                page_vocab_size=ds.page_vocab.size,
+            )
+        )
+        with pytest.raises(ValueError):
+            train(model, ds, steps=0)
+
+    @pytest.mark.slow
+    def test_random_walk_loss_decreases(self, random_walk_trace_small):
+        """Harder workload: loss must still trend down (slow tier)."""
+        _, _, result = _fit(random_walk_trace_small, steps=400)
+        early = np.mean(result.losses[:20])
+        late = np.mean(result.losses[-20:])
+        assert late < early
+
+
+def test_accuracy_helper_validates_shapes():
+    assert accuracy([1, 2, 3], [1, 0, 3]) == pytest.approx(2 / 3)
+    assert accuracy([], []) == 0.0
+    with pytest.raises(ValueError):
+        accuracy([1, 2], [1])

@@ -1,0 +1,58 @@
+"""Unit tests for the capped vocabulary with OOV handling."""
+
+import pytest
+
+from voyager.vocab import OOV_ID, Vocab
+
+
+def test_frequency_order_assigns_low_ids():
+    vocab = Vocab(cap=10).fit(["b", "a", "a", "c", "a", "b"])
+    assert vocab.encode("a") == 1  # most frequent
+    assert vocab.encode("b") == 2
+    assert vocab.encode("c") == 3
+
+
+def test_first_seen_breaks_frequency_ties():
+    vocab = Vocab(cap=10).fit(["y", "x", "y", "x"])
+    assert vocab.encode("y") == 1
+    assert vocab.encode("x") == 2
+
+
+def test_cap_overflow_maps_to_oov():
+    vocab = Vocab(cap=2).fit(["a", "a", "b", "b", "c"])
+    assert vocab.encode("a") != OOV_ID
+    assert vocab.encode("b") != OOV_ID
+    assert vocab.encode("c") == OOV_ID
+    assert vocab.size == 3  # OOV + 2 keys
+
+
+def test_unknown_key_maps_to_oov():
+    vocab = Vocab(cap=4).fit(["a"])
+    assert vocab.encode("never-seen") == OOV_ID
+
+
+def test_ids_stable_across_refit_of_same_data():
+    data = [1, 2, 2, 3, 3, 3]
+    first = Vocab(cap=8).fit(data)
+    second = Vocab(cap=8).fit(list(data))
+    assert all(first.encode(k) == second.encode(k) for k in set(data))
+
+
+def test_decode_round_trip_and_oov():
+    vocab = Vocab(cap=4).fit(["p", "q"])
+    for key in ("p", "q"):
+        assert vocab.decode(vocab.encode(key)) == key
+    assert vocab.decode(OOV_ID) is None
+    with pytest.raises(KeyError):
+        vocab.decode(99)
+
+
+def test_encode_all_and_contains():
+    vocab = Vocab(cap=4).fit(["a", "b"])
+    assert vocab.encode_all(["a", "b", "z"]) == [1, 2, OOV_ID]
+    assert "a" in vocab and "z" not in vocab
+
+
+def test_invalid_cap_rejected():
+    with pytest.raises(ValueError):
+        Vocab(cap=0)
