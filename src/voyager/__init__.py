@@ -9,11 +9,26 @@ Prefetching" (Shi et al., ASPLOS 2021).  The package is layered:
 - training/eval layer: :mod:`voyager.labeling`, :mod:`voyager.train`,
   :mod:`voyager.eval`
 - baseline layer: :mod:`voyager.baselines`
+- simulation layer: :mod:`voyager.sim` (trace-driven cache model),
+  :mod:`voyager.bench` (workload sweep -> ``BENCH_voyager.json``)
 """
 
 from voyager.baselines import NextLinePrefetcher, StridePrefetcher
 from voyager.labeling import LabelConfig, make_labels
-from voyager.model import HierarchicalModel, ModelConfig
+from voyager.model import (
+    HierarchicalModel,
+    ModelConfig,
+    load_checkpoint,
+    save_checkpoint,
+)
+from voyager.sim import (
+    CacheConfig,
+    NeuralPrefetcher,
+    SetAssociativeCache,
+    SimConfig,
+    SimResult,
+    simulate,
+)
 from voyager.traces import (
     BLOCK_BITS,
     NUM_OFFSETS,
@@ -30,16 +45,24 @@ __version__ = "0.1.0"
 __all__ = [
     "BLOCK_BITS",
     "NUM_OFFSETS",
+    "CacheConfig",
     "HierarchicalModel",
     "LabelConfig",
     "MemoryAccess",
     "ModelConfig",
+    "NeuralPrefetcher",
     "NextLinePrefetcher",
+    "SetAssociativeCache",
+    "SimConfig",
+    "SimResult",
     "StridePrefetcher",
     "Vocab",
     "join_address",
+    "load_checkpoint",
     "make_labels",
     "parse_trace",
     "parse_trace_line",
+    "save_checkpoint",
+    "simulate",
     "split_address",
 ]

@@ -1,26 +1,37 @@
 """Classical prefetcher baselines to sanity-check the neural model.
 
-Both baselines implement the same tiny protocol: ``predict(access)``
-returns the predicted next cache-block address (or ``None`` when the
-prefetcher has no confident prediction), then ``update(access)`` feeds
-the observed access.  :func:`evaluate_baseline` replays a trace and
-scores next-access block accuracy, comparable with the neural model's
-``full_accuracy``.
+Both baselines speak two protocols:
+
+- the legacy scoring protocol — ``predict(access)`` returns the single
+  predicted next cache-block address (or ``None``), then
+  ``update(access)`` feeds the observed access;
+  :func:`evaluate_baseline` replays a trace through it and scores
+  next-access block accuracy, comparable with the neural model's
+  ``full_accuracy``;
+- the simulation protocol of :mod:`voyager.sim` — ``update(access)``
+  first, then ``prefetch(access, degree)`` returns up to ``degree``
+  candidate block addresses to hand the issue queue.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from voyager.traces import MemoryAccess
 
 
 class NextLinePrefetcher:
-    """Always predicts the block immediately after the current one."""
+    """Always predicts the block(s) immediately after the current one."""
+
+    name = "next_line"
 
     def predict(self, access: MemoryAccess) -> Optional[int]:
         return access.block + 1
+
+    def prefetch(self, access: MemoryAccess, degree: int = 1) -> List[int]:
+        """The next ``degree`` sequential blocks."""
+        return [access.block + k for k in range(1, degree + 1)]
 
     def update(self, access: MemoryAccess) -> None:  # stateless
         return None
@@ -41,6 +52,8 @@ class StridePrefetcher:
     the baseline honest on irregular traces.
     """
 
+    name = "stride"
+
     def __init__(self, max_entries: int = 4096):
         self.max_entries = max_entries
         self.table: Dict[int, _StrideEntry] = {}
@@ -50,6 +63,13 @@ class StridePrefetcher:
         if entry is None or not entry.confirmed:
             return None
         return access.block + entry.stride
+
+    def prefetch(self, access: MemoryAccess, degree: int = 1) -> List[int]:
+        """Chain the confirmed stride ``degree`` steps ahead (else none)."""
+        entry = self.table.get(access.pc)
+        if entry is None or not entry.confirmed:
+            return []
+        return [access.block + entry.stride * k for k in range(1, degree + 1)]
 
     def update(self, access: MemoryAccess) -> None:
         entry = self.table.get(access.pc)

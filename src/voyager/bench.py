@@ -1,0 +1,193 @@
+"""Benchmark runner: synthetic workloads x prefetchers -> BENCH_voyager.json.
+
+Sweeps every synthetic workload against the next-line and stride
+baselines plus a freshly trained neural model, simulating each with
+:func:`voyager.sim.simulate` under one shared issue policy, and writes
+a schema-versioned JSON report to the repo root (or ``--out``).  The
+report is the cross-PR benchmark trajectory ROADMAP asks for: CI runs
+the smoke profile and archives the file as a build artifact.
+
+Everything is seeded, so two runs with the same profile produce
+identical metric values (wall-clock fields aside).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Union
+
+from voyager import synthetic
+from voyager.labeling import LabelConfig
+from voyager.model import HierarchicalModel, ModelConfig
+from voyager.sim import NeuralPrefetcher, SimConfig, make_prefetcher, simulate
+from voyager.train import build_dataset, train
+
+#: Bumped whenever the report layout changes incompatibly.
+BENCH_SCHEMA_VERSION = 1
+
+#: Canonical report filename at the repo root.
+BENCH_FILENAME = "BENCH_voyager.json"
+
+#: Prefetchers every bench run sweeps.
+PREFETCHERS = ("next_line", "stride", "neural")
+
+
+@dataclass(frozen=True)
+class BenchProfile:
+    """Workload size and training budget for one bench run.
+
+    The smoke profile is sized so the full sweep finishes in well under
+    a minute on a laptop CPU; the full profile is the number to quote.
+    """
+
+    name: str
+    trace_length: int
+    train_steps: int
+    embed_dim: int
+    hidden_dim: int
+    history: int = 8
+    batch_size: int = 32
+    lr: float = 1e-2
+    workloads: Sequence[str] = synthetic.WORKLOADS
+    sim: SimConfig = field(
+        default_factory=lambda: SimConfig(degree=2, distance=8, latency=8)
+    )
+
+
+SMOKE_PROFILE = BenchProfile(
+    name="smoke", trace_length=1200, train_steps=60, embed_dim=8, hidden_dim=16
+)
+FULL_PROFILE = BenchProfile(
+    name="full", trace_length=6000, train_steps=400, embed_dim=16, hidden_dim=32
+)
+
+
+def _train_neural(
+    trace, profile: BenchProfile, seed: int
+) -> NeuralPrefetcher:
+    dataset = build_dataset(
+        trace, history=profile.history, label_config=LabelConfig()
+    )
+    config = ModelConfig(
+        pc_vocab_size=dataset.pc_vocab.size,
+        page_vocab_size=dataset.page_vocab.size,
+        embed_dim=profile.embed_dim,
+        hidden_dim=profile.hidden_dim,
+        history=profile.history,
+        seed=seed,
+    )
+    model = HierarchicalModel(config)
+    train(
+        model,
+        dataset,
+        steps=profile.train_steps,
+        batch_size=profile.batch_size,
+        lr=profile.lr,
+        seed=seed,
+    )
+    return NeuralPrefetcher(model, dataset.pc_vocab, dataset.page_vocab)
+
+
+def bench_workload(
+    workload: str, profile: BenchProfile, seed: int = 0
+) -> Dict[str, Any]:
+    """Simulate all of :data:`PREFETCHERS` on one synthetic workload."""
+    trace = synthetic.generate(workload, profile.trace_length, seed=seed)
+    results: Dict[str, Any] = {}
+    for kind in PREFETCHERS:
+        start = time.perf_counter()
+        if kind == "neural":
+            prefetcher = _train_neural(trace, profile, seed)
+        else:
+            prefetcher = make_prefetcher(kind)
+        sim = simulate(trace, prefetcher, profile.sim)
+        entry = sim.as_dict()
+        del entry["prefetcher"]  # redundant with the dict key
+        entry["elapsed_s"] = round(time.perf_counter() - start, 3)
+        results[kind] = entry
+    return results
+
+
+def run_bench(
+    profile: BenchProfile = SMOKE_PROFILE, seed: int = 0
+) -> Dict[str, Any]:
+    """Run the full sweep and return the report dict (not yet written)."""
+    started = time.perf_counter()
+    workloads = {
+        workload: bench_workload(workload, profile, seed=seed)
+        for workload in profile.workloads
+    }
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "benchmark": "voyager_prefetch_sim",
+        "profile": profile.name,
+        "seed": seed,
+        "config": {
+            "trace_length": profile.trace_length,
+            "train_steps": profile.train_steps,
+            "embed_dim": profile.embed_dim,
+            "hidden_dim": profile.hidden_dim,
+            "history": profile.history,
+            "degree": profile.sim.degree,
+            "distance": profile.sim.distance,
+            "latency": profile.sim.latency,
+            "queue_capacity": profile.sim.queue_capacity,
+            "cache_sets": profile.sim.cache.num_sets,
+            "cache_ways": profile.sim.cache.ways,
+        },
+        "prefetchers": list(PREFETCHERS),
+        "workloads": workloads,
+        "elapsed_s": round(time.perf_counter() - started, 3),
+    }
+
+
+def write_bench(
+    report: Dict[str, Any], path: Union[str, Path] = BENCH_FILENAME
+) -> Path:
+    """Write a report as stable, human-diffable JSON.  Returns the path."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def validate_report(report: Dict[str, Any]) -> List[str]:
+    """Sanity-check a report's shape; returns a list of problems (empty = ok).
+
+    Used by tests and by consumers that read ``BENCH_voyager.json``
+    across PRs, so schema drift fails loudly instead of silently.
+    """
+    problems: List[str] = []
+    if report.get("schema_version") != BENCH_SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {report.get('schema_version')!r} != "
+            f"{BENCH_SCHEMA_VERSION}"
+        )
+    workloads = report.get("workloads")
+    if not isinstance(workloads, dict) or len(workloads) < 2:
+        problems.append("expected >= 2 workloads")
+        return problems
+    for workload, entries in workloads.items():
+        for kind in PREFETCHERS:
+            entry = entries.get(kind)
+            if entry is None:
+                problems.append(f"{workload}: missing prefetcher {kind!r}")
+                continue
+            for metric in ("accuracy", "coverage", "timeliness", "miss_rate"):
+                value = entry.get(metric)
+                if not isinstance(value, (int, float)):
+                    problems.append(f"{workload}/{kind}: missing {metric}")
+                elif metric != "coverage" and not 0.0 <= value <= 1.0:
+                    problems.append(
+                        f"{workload}/{kind}: {metric}={value} out of [0,1]"
+                    )
+                elif metric == "coverage" and not -1.0 <= value <= 1.0:
+                    # coverage can dip below zero under cache pollution
+                    problems.append(
+                        f"{workload}/{kind}: coverage={value} out of [-1,1]"
+                    )
+    return problems

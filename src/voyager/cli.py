@@ -1,14 +1,21 @@
-"""Command-line entrypoint: ``python -m voyager``.
+"""Command-line entrypoint: ``python -m voyager <subcommand>``.
 
-Two modes:
+Four subcommands:
 
-- ``python -m voyager --gen stride --out trace.txt -n 2000`` writes a
-  synthetic trace file;
-- ``python -m voyager --trace trace.txt --steps 200`` trains the
-  hierarchical model on a trace and prints page/offset accuracy.
+- ``gen`` — write a synthetic trace file:
+  ``python -m voyager gen stride --out trace.txt -n 2000``
+- ``train`` — train the hierarchical model on a trace, print metrics,
+  optionally save a checkpoint:
+  ``python -m voyager train --trace trace.txt --save ckpt/model``
+- ``simulate`` — replay a trace through the prefetch simulator with a
+  baseline or a checkpointed neural model:
+  ``python -m voyager simulate --trace trace.txt --checkpoint ckpt/model``
+- ``bench`` — sweep synthetic workloads x prefetchers and write a
+  schema-versioned ``BENCH_voyager.json``:
+  ``python -m voyager bench --smoke``
 
 All randomness is seeded, so repeated runs with the same arguments
-print identical numbers.
+print identical numbers (bench wall-clock fields aside).
 """
 
 from __future__ import annotations
@@ -23,28 +30,28 @@ from voyager.baselines import (
     StridePrefetcher,
     evaluate_baseline,
 )
-from voyager.eval import evaluate
+from voyager.bench import (
+    BENCH_FILENAME,
+    FULL_PROFILE,
+    SMOKE_PROFILE,
+    run_bench,
+    validate_report,
+    write_bench,
+)
+from voyager.eval import evaluate, simulate_model
 from voyager.labeling import LabelConfig
-from voyager.model import HierarchicalModel, ModelConfig
+from voyager.model import (
+    HierarchicalModel,
+    ModelConfig,
+    load_checkpoint,
+    save_checkpoint,
+)
+from voyager.sim import CacheConfig, SimConfig, make_prefetcher, simulate
 from voyager.traces import TraceParseError, parse_trace, write_trace
 from voyager.train import build_dataset, train
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="voyager",
-        description="Hierarchical neural data prefetcher (pure NumPy).",
-    )
-    parser.add_argument("--trace", help="path to a pc,address trace file")
-    parser.add_argument(
-        "--gen",
-        choices=synthetic.WORKLOADS,
-        help="generate a synthetic trace instead of training",
-    )
-    parser.add_argument("--out", help="output path for --gen")
-    parser.add_argument(
-        "-n", "--length", type=int, default=2000, help="trace length for --gen"
-    )
+def _add_model_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--steps", type=int, default=200)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--history", type=int, default=8)
@@ -56,12 +63,108 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--spatial-radius", type=int, default=1)
     parser.add_argument("--pc-cap", type=int, default=1024)
     parser.add_argument("--page-cap", type=int, default=1024)
+
+
+def _add_sim_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--degree", type=int, default=2)
     parser.add_argument(
+        "--distance",
+        type=int,
+        default=8,
+        help="prefetch lookahead (candidates skipped before issue)",
+    )
+    parser.add_argument("--latency", type=int, default=8)
+    parser.add_argument("--queue-capacity", type=int, default=32)
+    parser.add_argument("--cache-sets", type=int, default=64)
+    parser.add_argument("--cache-ways", type=int, default=4)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="voyager",
+        description="Hierarchical neural data prefetcher (pure NumPy).",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    gen = sub.add_parser("gen", help="generate a synthetic trace file")
+    gen.add_argument("workload", choices=synthetic.WORKLOADS)
+    gen.add_argument("--out", required=True, help="output trace path")
+    gen.add_argument("-n", "--length", type=int, default=2000)
+    gen.add_argument("--seed", type=int, default=0)
+
+    tr = sub.add_parser("train", help="train the model on a trace")
+    tr.add_argument("--trace", required=True, help="pc,address trace file")
+    tr.add_argument(
+        "--save",
+        help="checkpoint prefix to write (<prefix>.npz + <prefix>.vocab.json)",
+    )
+    tr.add_argument(
         "--no-baselines",
         action="store_true",
         help="skip the next-line/stride baseline comparison",
     )
+    _add_model_args(tr)
+
+    sim = sub.add_parser(
+        "simulate", help="trace-driven cache simulation of a prefetcher"
+    )
+    sim.add_argument("--trace", required=True, help="pc,address trace file")
+    source = sim.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--checkpoint", help="neural model checkpoint prefix (from train --save)"
+    )
+    source.add_argument(
+        "--prefetcher",
+        choices=("next_line", "stride", "none"),
+        help="baseline prefetcher ('none' = demand-only cache)",
+    )
+    _add_sim_args(sim)
+
+    bench = sub.add_parser(
+        "bench", help="sweep workloads x prefetchers, write BENCH_voyager.json"
+    )
+    bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small fast profile (CI-sized); default is the full profile",
+    )
+    bench.add_argument("--out", default=BENCH_FILENAME)
+    bench.add_argument("--seed", type=int, default=0)
+
     return parser
+
+
+def _sim_config(args: argparse.Namespace) -> SimConfig:
+    return SimConfig(
+        cache=CacheConfig(num_sets=args.cache_sets, ways=args.cache_ways),
+        degree=args.degree,
+        distance=args.distance,
+        latency=args.latency,
+        queue_capacity=args.queue_capacity,
+    )
+
+
+def _print_sim_result(result) -> None:
+    print(
+        f"prefetcher={result.prefetcher} accesses={result.accesses} "
+        f"miss_rate={result.miss_rate:.4f} "
+        f"baseline_miss_rate={result.baseline_miss_rate:.4f}"
+    )
+    print(
+        f"coverage={result.coverage:.4f} accuracy={result.accuracy:.4f} "
+        f"timeliness={result.timeliness:.4f} "
+        f"issued={result.issued_prefetches} "
+        f"timely={result.timely_prefetches} late={result.late_prefetches} "
+        f"dropped={result.dropped_prefetches} "
+        f"polluted={result.evicted_unused_prefetches}"
+    )
+
+
+def run_generate(args: argparse.Namespace) -> int:
+    trace = synthetic.generate(args.workload, args.length, seed=args.seed)
+    write_trace(trace, args.out)
+    print(f"wrote {len(trace)} accesses to {args.out}")
+    return 0
 
 
 def run_training(args: argparse.Namespace) -> int:
@@ -115,29 +218,68 @@ def run_training(args: argparse.Namespace) -> int:
                 f"baseline {name}: acc={base.accuracy:.4f} "
                 f"precision={base.precision:.4f} issued={base.issued}"
             )
+    if args.save:
+        npz_path, json_path = save_checkpoint(
+            args.save, model, dataset.pc_vocab, dataset.page_vocab
+        )
+        print(f"saved checkpoint: {npz_path} + {json_path}")
     return 0
 
 
-def run_generate(args: argparse.Namespace) -> int:
-    if not args.out:
-        print("error: --gen requires --out", file=sys.stderr)
-        return 2
-    trace = synthetic.generate(args.gen, args.length, seed=args.seed)
-    write_trace(trace, args.out)
-    print(f"wrote {len(trace)} accesses to {args.out}")
+def run_simulate(args: argparse.Namespace) -> int:
+    trace = parse_trace(args.trace)
+    sim_config = _sim_config(args)
+    if args.checkpoint:
+        model, pc_vocab, page_vocab = load_checkpoint(args.checkpoint)
+        result = simulate_model(model, pc_vocab, page_vocab, trace, sim_config)
+    elif args.prefetcher == "none":
+        result = simulate(trace, None, sim_config)
+    else:
+        result = simulate(trace, make_prefetcher(args.prefetcher), sim_config)
+    _print_sim_result(result)
+    return 0
+
+
+def run_bench_cmd(args: argparse.Namespace) -> int:
+    profile = SMOKE_PROFILE if args.smoke else FULL_PROFILE
+    report = run_bench(profile, seed=args.seed)
+    problems = validate_report(report)
+    if problems:
+        for problem in problems:
+            print(f"error: invalid bench report: {problem}", file=sys.stderr)
+        return 1
+    path = write_bench(report, args.out)
+    for workload, entries in report["workloads"].items():
+        for kind, entry in entries.items():
+            print(
+                f"{workload:12s} {kind:10s} "
+                f"coverage={entry['coverage']:.4f} "
+                f"accuracy={entry['accuracy']:.4f} "
+                f"timeliness={entry['timeliness']:.4f} "
+                f"miss_rate={entry['miss_rate']:.4f}"
+            )
+    print(f"wrote {path} (profile={profile.name}, {report['elapsed_s']}s)")
     return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not args.command:
+        parser.print_usage(sys.stderr)
+        print(
+            "error: provide a subcommand: gen, train, simulate or bench",
+            file=sys.stderr,
+        )
+        return 2
+    handlers = {
+        "gen": run_generate,
+        "train": run_training,
+        "simulate": run_simulate,
+        "bench": run_bench_cmd,
+    }
     try:
-        if args.gen:
-            return run_generate(args)
-        if not args.trace:
-            build_parser().print_usage(sys.stderr)
-            print("error: provide --trace or --gen", file=sys.stderr)
-            return 2
-        return run_training(args)
+        return handlers[args.command](args)
     except (TraceParseError, OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -1,14 +1,27 @@
-"""Accuracy and coverage metrics for models and baselines."""
+"""Accuracy and coverage metrics for models and baselines.
+
+Two views of quality live here:
+
+- :func:`evaluate` — argmax next-access accuracy of the two heads on an
+  encoded dataset (fast, model-only);
+- :func:`simulate_model` — the cache-outcome view: wraps a trained
+  model in a :class:`~voyager.sim.NeuralPrefetcher` and replays a raw
+  trace through the prefetch simulator, yielding the paper's
+  coverage/accuracy/timeliness metrics.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from voyager.model import HierarchicalModel
+from voyager.sim import NeuralPrefetcher, SimConfig, SimResult, simulate
+from voyager.traces import MemoryAccess
 from voyager.train import Dataset
+from voyager.vocab import Vocab
 
 
 @dataclass(frozen=True)
@@ -62,6 +75,24 @@ def evaluate(
         label_coverage=float(covered.mean()),
         n=n,
     )
+
+
+def simulate_model(
+    model: HierarchicalModel,
+    pc_vocab: Vocab,
+    page_vocab: Vocab,
+    trace: Sequence[MemoryAccess],
+    sim_config: Optional[SimConfig] = None,
+) -> SimResult:
+    """Cache-outcome evaluation of a trained model on a raw trace.
+
+    This is the evaluation the paper reports: the model drives a
+    prefetch issue queue into a set-associative LRU cache, and quality
+    is measured as coverage (misses eliminated), accuracy (useful per
+    issued prefetch) and timeliness — not argmax token accuracy.
+    """
+    prefetcher = NeuralPrefetcher(model, pc_vocab, page_vocab)
+    return simulate(trace, prefetcher, sim_config or SimConfig())
 
 
 def accuracy(predictions: Sequence[int], truths: Sequence[int]) -> float:

@@ -19,7 +19,7 @@ model's softmax cross-entropy applies unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -38,13 +38,17 @@ class LabelConfig:
 def make_labels(
     trace: Sequence[MemoryAccess],
     index: int,
-    config: LabelConfig = LabelConfig(),
+    config: Optional[LabelConfig] = None,
 ) -> List[Tuple[int, int]]:
     """Label set for predicting the access after ``trace[index]``.
 
     Returns ``(page, offset)`` pairs; the true next access is always
-    first.  Raises ``IndexError`` when there is no next access.
+    first.  ``config=None`` means ``LabelConfig()`` (fresh per call, not
+    a shared default instance).  Raises ``IndexError`` when there is no
+    next access.
     """
+    if config is None:
+        config = LabelConfig()
     if index + 1 >= len(trace):
         raise IndexError(
             f"index {index} has no successor in trace of length {len(trace)}"

@@ -18,8 +18,10 @@ next-access and the spatial/co-occurrence labeling schemes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Tuple
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Tuple, Union
 
 import numpy as np
 
@@ -31,6 +33,10 @@ from voyager.embeddings import (
     page_aware_offset_forward,
 )
 from voyager.traces import NUM_OFFSETS
+from voyager.vocab import Vocab
+
+#: Bumped whenever the checkpoint layout changes incompatibly.
+CHECKPOINT_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -270,3 +276,73 @@ class HierarchicalModel:
 
     def num_parameters(self) -> int:
         return sum(int(v.size) for v in self.params.values())
+
+
+# ----------------------------------------------------------------------
+# checkpointing
+# ----------------------------------------------------------------------
+def save_checkpoint(
+    prefix: Union[str, Path],
+    model: HierarchicalModel,
+    pc_vocab: Vocab,
+    page_vocab: Vocab,
+) -> Tuple[Path, Path]:
+    """Persist a trained model plus its vocabularies.
+
+    Writes two sibling files derived from ``prefix``:
+
+    - ``<prefix>.npz`` — the raw float64 parameter arrays (bit-exact);
+    - ``<prefix>.vocab.json`` — model config, schema version, and both
+      vocab mappings in id order.
+
+    Returns the two paths.  :func:`load_checkpoint` restores a model
+    whose predictions are bit-identical to the saved one.
+    """
+    prefix = Path(prefix)
+    prefix.parent.mkdir(parents=True, exist_ok=True)
+    npz_path = prefix.with_suffix(prefix.suffix + ".npz")
+    json_path = prefix.with_suffix(prefix.suffix + ".vocab.json")
+    np.savez(npz_path, **model.params)
+    meta = {
+        "schema_version": CHECKPOINT_SCHEMA_VERSION,
+        "model_config": asdict(model.config),
+        "pc_vocab": pc_vocab.to_dict(),
+        "page_vocab": page_vocab.to_dict(),
+    }
+    json_path.write_text(json.dumps(meta), encoding="utf-8")
+    return npz_path, json_path
+
+
+def load_checkpoint(
+    prefix: Union[str, Path],
+) -> Tuple[HierarchicalModel, Vocab, Vocab]:
+    """Restore ``(model, pc_vocab, page_vocab)`` from :func:`save_checkpoint`."""
+    prefix = Path(prefix)
+    npz_path = prefix.with_suffix(prefix.suffix + ".npz")
+    json_path = prefix.with_suffix(prefix.suffix + ".vocab.json")
+    if not npz_path.exists() or not json_path.exists():
+        raise FileNotFoundError(
+            f"checkpoint {prefix} incomplete: expected {npz_path.name} "
+            f"and {json_path.name} side by side"
+        )
+    meta = json.loads(json_path.read_text(encoding="utf-8"))
+    version = meta.get("schema_version")
+    if version != CHECKPOINT_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint schema {version!r}; "
+            f"this build reads version {CHECKPOINT_SCHEMA_VERSION}"
+        )
+    model = HierarchicalModel(ModelConfig(**meta["model_config"]))
+    with np.load(npz_path) as arrays:
+        for name in model.params:
+            if name not in arrays:
+                raise ValueError(f"checkpoint missing parameter {name!r}")
+            if arrays[name].shape != model.params[name].shape:
+                raise ValueError(
+                    f"parameter {name!r} shape {arrays[name].shape} does not "
+                    f"match config shape {model.params[name].shape}"
+                )
+            model.params[name] = arrays[name].copy()
+    pc_vocab = Vocab.from_dict(meta["pc_vocab"])
+    page_vocab = Vocab.from_dict(meta["page_vocab"])
+    return model, pc_vocab, page_vocab

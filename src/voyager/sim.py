@@ -1,0 +1,447 @@
+"""Trace-driven prefetch simulation: cache model, issue queue, metrics.
+
+The paper evaluates Voyager not on argmax accuracy but on what a
+prefetcher *does* to a cache.  This module provides the machinery:
+
+- :class:`SetAssociativeCache` — a deterministic set-associative LRU
+  cache over cache-block addresses;
+- the ``Prefetcher`` protocol — ``update(access)`` observes a demand
+  access, then ``prefetch(access, degree)`` returns up to ``degree``
+  candidate block addresses (both baselines in
+  :mod:`voyager.baselines` and :class:`NeuralPrefetcher` implement it);
+- :func:`simulate` — replays a trace through a demand cache with a
+  bounded in-flight prefetch queue and a fixed fill latency, and
+  reports coverage / accuracy / timeliness plus miss rates with and
+  without prefetching.
+
+Everything is deterministic: same trace + prefetcher + config means
+bit-identical counters, so golden regression tests pin exact integers.
+
+Accounting rules (documented here because they define the metrics):
+
+- A prefetch issued at time ``t`` arrives at ``t + latency`` (time is
+  measured in demand accesses).  Until then it is *in flight*.
+- A demand hit on a prefetched, not-yet-demanded line counts that
+  prefetch as **timely useful** (once — later re-hits are ordinary
+  cache hits).
+- A demand miss on a block that is still in flight counts the prefetch
+  as **late useful**: the line was correctly predicted but arrived too
+  late to hide the miss, so the access still counts as a miss.
+- ``accuracy = (timely + late) / issued``;
+  ``coverage = (baseline_misses - misses) / baseline_misses`` where the
+  baseline is the identical cache replayed with no prefetcher;
+  ``timeliness = timely / (timely + late)``.
+- Candidates already resident or already in flight are filtered before
+  issue and never count as issued.  When the in-flight queue is full,
+  further candidates are dropped (counted in ``dropped_prefetches``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from voyager.model import HierarchicalModel
+from voyager.traces import NUM_OFFSETS, OFFSET_BITS, MemoryAccess
+from voyager.vocab import OOV_ID, Vocab
+
+
+class Prefetcher(Protocol):
+    """What :func:`simulate` needs from a prefetcher.
+
+    The simulator calls ``update`` with each demand access *before*
+    asking ``prefetch`` for candidates, so implementations may use the
+    current access when predicting.
+    """
+
+    name: str
+
+    def update(self, access: MemoryAccess) -> None: ...
+
+    def prefetch(self, access: MemoryAccess, degree: int = 1) -> List[int]: ...
+
+
+# ----------------------------------------------------------------------
+# cache model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of the simulated cache (capacity = num_sets * ways blocks)."""
+
+    num_sets: int = 64
+    ways: int = 4
+
+    def __post_init__(self) -> None:
+        if self.num_sets < 1 or self.ways < 1:
+            raise ValueError(
+                f"num_sets and ways must be >= 1, got {self.num_sets}x{self.ways}"
+            )
+
+    @property
+    def capacity_blocks(self) -> int:
+        return self.num_sets * self.ways
+
+
+@dataclass
+class CacheLine:
+    """Residency metadata for one cached block."""
+
+    prefetched: bool = False
+    demanded: bool = False  # a demand access has touched this line
+
+
+class SetAssociativeCache:
+    """Set-associative cache with true-LRU replacement over block addresses.
+
+    Each set is an :class:`~collections.OrderedDict` from block address
+    to :class:`CacheLine`; iteration order is LRU -> MRU.
+    """
+
+    def __init__(self, config: Optional[CacheConfig] = None):
+        self.config = config or CacheConfig()
+        self._sets: List["OrderedDict[int, CacheLine]"] = [
+            OrderedDict() for _ in range(self.config.num_sets)
+        ]
+
+    def _set_for(self, block: int) -> "OrderedDict[int, CacheLine]":
+        return self._sets[block % self.config.num_sets]
+
+    def contains(self, block: int) -> bool:
+        """Residency probe without touching LRU state."""
+        return block in self._set_for(block)
+
+    def lookup(self, block: int) -> Optional[CacheLine]:
+        """Demand lookup: returns the line (promoted to MRU) or ``None``."""
+        lines = self._set_for(block)
+        line = lines.get(block)
+        if line is not None:
+            lines.move_to_end(block)
+        return line
+
+    def fill(self, block: int, prefetched: bool = False) -> Optional[Tuple[int, CacheLine]]:
+        """Insert ``block`` as MRU, evicting LRU if the set is full.
+
+        Returns the ``(block, line)`` evicted, or ``None``.  Filling a
+        resident block just promotes it.
+        """
+        lines = self._set_for(block)
+        if block in lines:
+            lines.move_to_end(block)
+            return None
+        evicted = None
+        if len(lines) >= self.config.ways:
+            evicted = lines.popitem(last=False)
+        lines[block] = CacheLine(prefetched=prefetched, demanded=not prefetched)
+        return evicted
+
+    def resident_blocks(self) -> List[int]:
+        """All resident blocks (test/debug helper), set by set, LRU->MRU."""
+        out: List[int] = []
+        for lines in self._sets:
+            out.extend(lines.keys())
+        return out
+
+
+# ----------------------------------------------------------------------
+# simulation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SimConfig:
+    """Issue-policy and cache knobs for :func:`simulate`.
+
+    Prefetchers return candidates ordered by predicted arrival (the
+    baselines' sequential chains; the neural rollout): candidate ``k``
+    approximates the access at ``t + k + 1``.  ``distance`` skips the
+    first ``distance`` candidates so issues target accesses far enough
+    out to beat ``latency`` — the classic prefetch-distance knob.  With
+    ``distance=0`` a degree-1 next-line prefetch on a stride-1 stream is
+    always correct but always late; ``distance >= latency`` makes it
+    timely.
+    """
+
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    degree: int = 2  # max prefetches issued per demand access
+    distance: int = 0  # lookahead: skip this many leading candidates
+    latency: int = 8  # demand accesses until a prefetch fill arrives
+    queue_capacity: int = 32  # max prefetches in flight
+
+    def __post_init__(self) -> None:
+        if self.degree < 0:
+            raise ValueError(f"degree must be >= 0, got {self.degree}")
+        if self.distance < 0:
+            raise ValueError(f"distance must be >= 0, got {self.distance}")
+        if self.latency < 0:
+            raise ValueError(f"latency must be >= 0, got {self.latency}")
+        if self.queue_capacity < 0:
+            raise ValueError(
+                f"queue_capacity must be >= 0, got {self.queue_capacity}"
+            )
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Raw counters plus derived prefetching metrics for one run."""
+
+    prefetcher: str
+    accesses: int
+    misses: int  # demand misses with prefetching enabled
+    baseline_misses: int  # demand misses of the same cache, no prefetcher
+    issued_prefetches: int
+    timely_prefetches: int  # prefetched line arrived before its demand hit
+    late_prefetches: int  # correct but still in flight at demand time
+    dropped_prefetches: int  # queue full at issue time
+    evicted_unused_prefetches: int  # cache pollution
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def baseline_miss_rate(self) -> float:
+        return self.baseline_misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def useful_prefetches(self) -> int:
+        return self.timely_prefetches + self.late_prefetches
+
+    @property
+    def accuracy(self) -> float:
+        """Useful (timely or late) prefetches per issued prefetch."""
+        if not self.issued_prefetches:
+            return 0.0
+        return self.useful_prefetches / self.issued_prefetches
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of no-prefetch misses eliminated by prefetching."""
+        if not self.baseline_misses:
+            return 0.0
+        return (self.baseline_misses - self.misses) / self.baseline_misses
+
+    @property
+    def timeliness(self) -> float:
+        """Fraction of useful prefetches that arrived in time."""
+        if not self.useful_prefetches:
+            return 0.0
+        return self.timely_prefetches / self.useful_prefetches
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "prefetcher": self.prefetcher,
+            "accesses": self.accesses,
+            "misses": self.misses,
+            "baseline_misses": self.baseline_misses,
+            "issued_prefetches": self.issued_prefetches,
+            "timely_prefetches": self.timely_prefetches,
+            "late_prefetches": self.late_prefetches,
+            "dropped_prefetches": self.dropped_prefetches,
+            "evicted_unused_prefetches": self.evicted_unused_prefetches,
+            "miss_rate": self.miss_rate,
+            "baseline_miss_rate": self.baseline_miss_rate,
+            "accuracy": self.accuracy,
+            "coverage": self.coverage,
+            "timeliness": self.timeliness,
+        }
+
+
+def simulate(
+    trace: Sequence[MemoryAccess],
+    prefetcher: Optional[Prefetcher],
+    config: Optional[SimConfig] = None,
+) -> SimResult:
+    """Replay ``trace`` through the cache with ``prefetcher`` driving fills.
+
+    ``prefetcher=None`` (or ``degree=0``) simulates the demand-only
+    cache, in which case ``misses == baseline_misses`` exactly — the
+    degree-0 invariant the tests pin.  The no-prefetch baseline cache
+    is replayed in the same pass, so one call yields both miss rates.
+    """
+    config = config or SimConfig()
+    cache = SetAssociativeCache(config.cache)
+    baseline_cache = SetAssociativeCache(config.cache)
+
+    in_flight: "OrderedDict[int, int]" = OrderedDict()  # block -> arrival time
+    arrivals: deque = deque()  # (arrival_time, block) in issue order
+
+    misses = 0
+    baseline_misses = 0
+    issued = 0
+    timely = 0
+    late = 0
+    dropped = 0
+    evicted_unused = 0
+
+    for t, access in enumerate(trace):
+        block = access.block
+
+        # 1. land prefetches whose latency has elapsed.
+        while arrivals and arrivals[0][0] <= t:
+            _, arrived = arrivals.popleft()
+            if in_flight.pop(arrived, None) is None:
+                continue  # consumed early by a late demand miss
+            evicted = cache.fill(arrived, prefetched=True)
+            if evicted is not None and evicted[1].prefetched and not evicted[1].demanded:
+                evicted_unused += 1
+
+        # 2. demand access against both caches.
+        if baseline_cache.lookup(block) is None:
+            baseline_misses += 1
+            baseline_cache.fill(block)
+
+        line = cache.lookup(block)
+        if line is not None:
+            if line.prefetched and not line.demanded:
+                timely += 1
+            line.demanded = True
+        else:
+            misses += 1
+            if block in in_flight:
+                # Correct prediction, but the fill is still in flight:
+                # the demand turns it into an ordinary (late) miss fill.
+                late += 1
+                del in_flight[block]
+            evicted = cache.fill(block)
+            if evicted is not None and evicted[1].prefetched and not evicted[1].demanded:
+                evicted_unused += 1
+
+        # 3. observe, then issue new prefetches.
+        if prefetcher is not None and config.degree > 0:
+            prefetcher.update(access)
+            want = config.degree + config.distance
+            candidates = prefetcher.prefetch(access, want)
+            for cand in candidates[config.distance : want]:
+                if cand < 0 or cand in in_flight or cache.contains(cand):
+                    continue
+                if len(in_flight) >= config.queue_capacity:
+                    dropped += 1
+                    continue
+                in_flight[cand] = t + config.latency
+                arrivals.append((t + config.latency, cand))
+                issued += 1
+
+    # Prefetches still unused (in cache) or in flight at trace end stay
+    # unscored: they count in `issued`, lowering accuracy, which matches
+    # hardware accounting for a finite evaluation window.
+    return SimResult(
+        prefetcher=prefetcher.name if prefetcher is not None else "none",
+        accesses=len(trace),
+        misses=misses,
+        baseline_misses=baseline_misses,
+        issued_prefetches=issued,
+        timely_prefetches=timely,
+        late_prefetches=late,
+        dropped_prefetches=dropped,
+        evicted_unused_prefetches=evicted_unused,
+    )
+
+
+# ----------------------------------------------------------------------
+# neural prefetcher adapter
+# ----------------------------------------------------------------------
+class NeuralPrefetcher:
+    """Adapts a trained :class:`HierarchicalModel` to the sim protocol.
+
+    Keeps a sliding window of the last ``history`` accesses (encoded
+    through the training vocabularies).  Once warm, ``prefetch`` rolls
+    the model forward ``degree`` steps: each step takes the argmax
+    ``(page, offset)`` prediction, emits its block address, and feeds
+    the prediction back as pseudo-history for the next step (the PC
+    slot repeats the current access's PC id).  The candidate list is
+    therefore temporally ordered — candidate ``k`` is the model's guess
+    for the access ``k + 1`` steps ahead — matching the baselines'
+    sequential chains, so :class:`SimConfig` ``distance`` means the
+    same thing for all three prefetchers.  The rollout stops early if a
+    step predicts the OOV page: the model cannot name a concrete page
+    beyond that horizon.
+    """
+
+    name = "neural"
+
+    def __init__(
+        self,
+        model: HierarchicalModel,
+        pc_vocab: Vocab,
+        page_vocab: Vocab,
+    ):
+        self.model = model
+        self.pc_vocab = pc_vocab
+        self.page_vocab = page_vocab
+        history = model.config.history
+        self._pc_ids: deque = deque(maxlen=history)
+        self._page_ids: deque = deque(maxlen=history)
+        self._offset_ids: deque = deque(maxlen=history)
+
+    def update(self, access: MemoryAccess) -> None:
+        self._pc_ids.append(self.pc_vocab.encode(access.pc))
+        self._page_ids.append(self.page_vocab.encode(access.page))
+        self._offset_ids.append(access.offset)
+
+    def prefetch(self, access: MemoryAccess, degree: int = 1) -> List[int]:
+        history = self.model.config.history
+        if degree < 1 or len(self._pc_ids) < history:
+            return []
+        pc = list(self._pc_ids)
+        page = list(self._page_ids)
+        off = list(self._offset_ids)
+
+        blocks: List[int] = []
+        for _ in range(degree):
+            page_probs, offset_probs, _ = self.model.forward(
+                np.array([pc], dtype=np.int64),
+                np.array([page], dtype=np.int64),
+                np.array([off], dtype=np.int64),
+            )
+            pid = int(page_probs[0].argmax())
+            oid = int(offset_probs[0].argmax())
+            if pid == OOV_ID:
+                break
+            raw_page = self.page_vocab.decode(pid)
+            blocks.append((int(raw_page) << OFFSET_BITS) | oid)
+            # slide the pseudo-history window forward by one step
+            pc = pc[1:] + [pc[-1]]
+            page = page[1:] + [pid]
+            off = off[1:] + [oid]
+        return blocks
+
+
+def make_prefetcher(
+    kind: str,
+    model: Optional[HierarchicalModel] = None,
+    pc_vocab: Optional[Vocab] = None,
+    page_vocab: Optional[Vocab] = None,
+) -> Prefetcher:
+    """Factory over the three prefetcher kinds used by bench and the CLI."""
+    from voyager.baselines import NextLinePrefetcher, StridePrefetcher
+
+    if kind == "next_line":
+        return NextLinePrefetcher()
+    if kind == "stride":
+        return StridePrefetcher()
+    if kind == "neural":
+        if model is None or pc_vocab is None or page_vocab is None:
+            raise ValueError(
+                "kind='neural' requires model, pc_vocab and page_vocab"
+            )
+        return NeuralPrefetcher(model, pc_vocab, page_vocab)
+    raise ValueError(
+        f"unknown prefetcher kind {kind!r}; "
+        "expected 'next_line', 'stride' or 'neural'"
+    )
+
+
+#: Offset count re-exported for sim users that reason about block maths.
+__all__ = [
+    "CacheConfig",
+    "CacheLine",
+    "NeuralPrefetcher",
+    "Prefetcher",
+    "SetAssociativeCache",
+    "SimConfig",
+    "SimResult",
+    "make_prefetcher",
+    "simulate",
+    "NUM_OFFSETS",
+]

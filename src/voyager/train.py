@@ -56,11 +56,20 @@ def build_dataset(
     history: int,
     pc_vocab: Optional[Vocab] = None,
     page_vocab: Optional[Vocab] = None,
-    label_config: LabelConfig = LabelConfig(),
+    label_config: Optional[LabelConfig] = None,
     pc_cap: int = 1024,
     page_cap: int = 1024,
 ) -> Dataset:
-    """Encode a trace into model-ready arrays with multi-label targets."""
+    """Encode a trace into model-ready arrays with multi-label targets.
+
+    ``label_config=None`` (the default) uses ``LabelConfig()`` — the
+    paper-default window/spatial-radius knobs.  A shared default
+    *instance* is deliberately avoided: ``LabelConfig`` is frozen today,
+    but a mutable-default signature would silently alias state across
+    calls if that ever changed.
+    """
+    if label_config is None:
+        label_config = LabelConfig()
     if len(trace) < history + 2:
         raise ValueError(
             f"trace too short: need at least {history + 2} accesses, "

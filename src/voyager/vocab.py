@@ -9,7 +9,7 @@ id (always 0), so downstream embedding tables have a fixed, known size.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Hashable, Iterable, List
+from typing import Any, Dict, Hashable, Iterable, List
 
 #: Reserved id for out-of-vocabulary keys (and padding).
 OOV_ID = 0
@@ -72,3 +72,27 @@ class Vocab:
         if not 0 <= idx < len(self._id_to_key):
             raise KeyError(f"id {idx} out of range [0, {len(self._id_to_key)})")
         return self._id_to_key[idx]
+
+    # ------------------------------------------------------------------
+    # serialization (checkpoint support)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe snapshot: cap plus keys listed in id order (1..).
+
+        Only JSON-representable keys (ints/strings) survive a round trip
+        through :func:`json.dumps`; trace vocabularies hold ints.
+        """
+        return {"cap": self.cap, "keys": list(self._id_to_key[1:])}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Vocab":
+        """Rebuild a vocab from :meth:`to_dict` output, preserving ids."""
+        keys = data["keys"]
+        vocab = cls(data["cap"])
+        if len(keys) > vocab.cap:
+            raise ValueError(
+                f"serialized vocab has {len(keys)} keys, exceeds cap {vocab.cap}"
+            )
+        vocab._key_to_id = {key: i + 1 for i, key in enumerate(keys)}
+        vocab._id_to_key = [None] + list(keys)
+        return vocab

@@ -53,3 +53,36 @@ def test_evaluate_baseline_skip_excludes_warmup(stride_trace_small):
         NextLinePrefetcher(), stride_trace_small, skip=10
     )
     assert skipped.n == full.n - 10
+
+
+# ----------------------------------------------------------------------
+# sim protocol (update-then-prefetch, degree candidates)
+# ----------------------------------------------------------------------
+def test_next_line_prefetch_degree_chain(stride_trace_small):
+    access = stride_trace_small[0]
+    pf = NextLinePrefetcher()
+    pf.update(access)
+    assert pf.prefetch(access, degree=3) == [
+        access.block + 1,
+        access.block + 2,
+        access.block + 3,
+    ]
+
+
+def test_stride_prefetch_empty_until_confirmed():
+    trace = stride_trace(6, stride_blocks=4)
+    pf = StridePrefetcher()
+    pf.update(trace[0])
+    assert pf.prefetch(trace[0], degree=2) == []
+    pf.update(trace[1])
+    assert pf.prefetch(trace[1], degree=2) == []  # stride seen once
+    pf.update(trace[2])
+    assert pf.prefetch(trace[2], degree=2) == [
+        trace[2].block + 4,
+        trace[2].block + 8,
+    ]
+
+
+def test_prefetchers_expose_names():
+    assert NextLinePrefetcher().name == "next_line"
+    assert StridePrefetcher().name == "stride"

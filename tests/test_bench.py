@@ -1,0 +1,87 @@
+"""Bench runner tests on a tiny profile (full smoke runs in CI/CLI)."""
+
+import json
+
+import pytest
+
+from voyager.bench import (
+    BENCH_SCHEMA_VERSION,
+    PREFETCHERS,
+    BenchProfile,
+    run_bench,
+    validate_report,
+    write_bench,
+)
+from voyager.sim import SimConfig
+
+#: Tiny but real: both workload count and metric structure match smoke.
+TINY = BenchProfile(
+    name="tiny",
+    trace_length=300,
+    train_steps=10,
+    embed_dim=8,
+    hidden_dim=16,
+    workloads=("stride", "page_cycle"),
+    sim=SimConfig(degree=2, distance=4, latency=4),
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_bench(TINY, seed=0)
+
+
+def test_report_shape_and_schema(report):
+    assert report["schema_version"] == BENCH_SCHEMA_VERSION
+    assert report["profile"] == "tiny"
+    assert set(report["workloads"]) == {"stride", "page_cycle"}
+    for entries in report["workloads"].values():
+        assert set(entries) == set(PREFETCHERS)
+        for entry in entries.values():
+            for metric in ("accuracy", "coverage", "timeliness", "miss_rate"):
+                assert metric in entry
+
+
+def test_report_passes_its_own_validator(report):
+    assert validate_report(report) == []
+
+
+def test_validator_flags_problems(report):
+    assert validate_report({"schema_version": 99}) != []
+    broken = json.loads(json.dumps(report))
+    del broken["workloads"]["stride"]["neural"]
+    assert any("neural" in p for p in validate_report(broken))
+    bad_metric = json.loads(json.dumps(report))
+    bad_metric["workloads"]["stride"]["stride"]["accuracy"] = 1.5
+    assert any("accuracy" in p for p in validate_report(bad_metric))
+
+
+def test_bench_metrics_deterministic_across_runs(report):
+    rerun = run_bench(TINY, seed=0)
+    for workload, entries in report["workloads"].items():
+        for kind, entry in entries.items():
+            for metric in (
+                "misses",
+                "issued_prefetches",
+                "timely_prefetches",
+                "accuracy",
+                "coverage",
+            ):
+                assert rerun["workloads"][workload][kind][metric] == entry[metric], (
+                    workload,
+                    kind,
+                    metric,
+                )
+
+
+def test_next_line_covers_stride_workload(report):
+    entry = report["workloads"]["stride"]["next_line"]
+    assert entry["coverage"] > 0.9
+    assert entry["timeliness"] > 0.9
+
+
+def test_write_bench_is_valid_json(report, tmp_path):
+    path = write_bench(report, tmp_path / "BENCH_voyager.json")
+    loaded = json.loads(path.read_text())
+    assert loaded["schema_version"] == BENCH_SCHEMA_VERSION
+    assert validate_report(loaded) == []

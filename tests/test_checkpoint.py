@@ -1,0 +1,119 @@
+"""Checkpoint round-trip: a saved model must reload bit-identically."""
+
+import json
+
+import numpy as np
+import pytest
+
+from voyager.model import (
+    CHECKPOINT_SCHEMA_VERSION,
+    HierarchicalModel,
+    ModelConfig,
+    load_checkpoint,
+    save_checkpoint,
+)
+from voyager.synthetic import page_cycle_trace
+from voyager.train import build_dataset, train
+from voyager.vocab import Vocab
+
+
+@pytest.fixture(scope="module")
+def trained():
+    trace = page_cycle_trace(300)
+    dataset = build_dataset(trace, history=8)
+    config = ModelConfig(
+        pc_vocab_size=dataset.pc_vocab.size,
+        page_vocab_size=dataset.page_vocab.size,
+        embed_dim=8,
+        hidden_dim=16,
+        history=8,
+        seed=0,
+    )
+    model = HierarchicalModel(config)
+    train(model, dataset, steps=30, batch_size=32, lr=1e-2, seed=0)
+    return model, dataset
+
+
+def test_round_trip_predictions_bit_identical(trained, tmp_path):
+    model, dataset = trained
+    save_checkpoint(tmp_path / "ckpt", model, dataset.pc_vocab, dataset.page_vocab)
+    loaded, _, _ = load_checkpoint(tmp_path / "ckpt")
+
+    assert loaded.config == model.config
+    for name, value in model.params.items():
+        assert np.array_equal(loaded.params[name], value), name
+
+    batch = slice(0, 64)
+    orig_pages, orig_offs = model.predict(
+        dataset.pc_ids[batch], dataset.page_ids[batch], dataset.offset_ids[batch]
+    )
+    new_pages, new_offs = loaded.predict(
+        dataset.pc_ids[batch], dataset.page_ids[batch], dataset.offset_ids[batch]
+    )
+    assert np.array_equal(orig_pages, new_pages)
+    assert np.array_equal(orig_offs, new_offs)
+
+
+def test_round_trip_vocabs_preserve_ids(trained, tmp_path):
+    model, dataset = trained
+    save_checkpoint(tmp_path / "ck", model, dataset.pc_vocab, dataset.page_vocab)
+    _, pc_vocab, page_vocab = load_checkpoint(tmp_path / "ck")
+    for key in list(dataset.pc_vocab._key_to_id):
+        assert pc_vocab.encode(key) == dataset.pc_vocab.encode(key)
+    for key in list(dataset.page_vocab._key_to_id):
+        assert page_vocab.encode(key) == dataset.page_vocab.encode(key)
+    assert pc_vocab.size == dataset.pc_vocab.size
+    assert page_vocab.size == dataset.page_vocab.size
+
+
+def test_missing_checkpoint_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_checkpoint(tmp_path / "nope")
+
+
+def test_half_missing_checkpoint_raises(trained, tmp_path):
+    model, dataset = trained
+    save_checkpoint(
+        tmp_path / "broken", model, dataset.pc_vocab, dataset.page_vocab
+    )
+    (tmp_path / "broken.vocab.json").unlink()
+    with pytest.raises(FileNotFoundError):
+        load_checkpoint(tmp_path / "broken")
+
+
+def test_schema_version_mismatch_rejected(trained, tmp_path):
+    model, dataset = trained
+    _, json_path = save_checkpoint(
+        tmp_path / "old", model, dataset.pc_vocab, dataset.page_vocab
+    )
+    meta = json.loads(json_path.read_text())
+    meta["schema_version"] = CHECKPOINT_SCHEMA_VERSION + 1
+    json_path.write_text(json.dumps(meta))
+    with pytest.raises(ValueError, match="schema"):
+        load_checkpoint(tmp_path / "old")
+
+
+def test_corrupt_param_shape_rejected(trained, tmp_path):
+    model, dataset = trained
+    npz_path, _ = save_checkpoint(
+        tmp_path / "bad", model, dataset.pc_vocab, dataset.page_vocab
+    )
+    arrays = dict(np.load(npz_path))
+    arrays["w_page"] = arrays["w_page"][:, :-1]
+    np.savez(npz_path, **arrays)
+    with pytest.raises(ValueError, match="shape"):
+        load_checkpoint(tmp_path / "bad")
+
+
+def test_vocab_dict_round_trip_standalone():
+    vocab = Vocab(cap=8).fit([5, 5, 7, 9, 9, 9])
+    clone = Vocab.from_dict(json.loads(json.dumps(vocab.to_dict())))
+    for key in (5, 7, 9, 12345):
+        assert clone.encode(key) == vocab.encode(key)
+    assert clone.size == vocab.size
+    assert clone.decode(0) is None
+
+
+def test_vocab_from_dict_rejects_overflow():
+    with pytest.raises(ValueError):
+        Vocab.from_dict({"cap": 1, "keys": [1, 2]})

@@ -1,7 +1,10 @@
-"""CLI tests: generation mode, training mode, and run-to-run determinism."""
+"""CLI tests: all four subcommands plus error paths and determinism."""
+
+import json
 
 import pytest
 
+from voyager.bench import BENCH_SCHEMA_VERSION, validate_report
 from voyager.cli import main
 from voyager.traces import parse_trace
 
@@ -9,53 +12,56 @@ from voyager.traces import parse_trace
 @pytest.fixture
 def stride_trace_file(tmp_path):
     path = tmp_path / "stride.txt"
-    rc = main(["--gen", "stride", "--out", str(path), "-n", "400"])
+    rc = main(["gen", "stride", "--out", str(path), "-n", "400"])
     assert rc == 0
     return path
 
 
+# ----------------------------------------------------------------------
+# gen
+# ----------------------------------------------------------------------
 def test_gen_writes_parseable_trace(stride_trace_file):
     trace = parse_trace(stride_trace_file)
     assert len(trace) == 400
     assert trace[1].block - trace[0].block == 1
 
 
-def test_gen_requires_out(capsys):
-    assert main(["--gen", "stride"]) == 2
-    assert "--out" in capsys.readouterr().err
-
-
-def test_malformed_trace_is_clean_error(tmp_path, capsys):
-    path = tmp_path / "bad.txt"
-    path.write_text("0x1,0x40\nbogus-line\n")
-    assert main(["--trace", str(path)]) == 1
-    err = capsys.readouterr().err
-    assert err.startswith("error:") and "line 2" in err
-
-
-def test_missing_trace_file_is_clean_error(tmp_path, capsys):
-    assert main(["--trace", str(tmp_path / "nope.txt")]) == 1
-    assert "error:" in capsys.readouterr().err
-
-
-def test_no_mode_is_usage_error(capsys):
+def test_no_subcommand_is_usage_error(capsys):
     assert main([]) == 2
-    assert "--trace or --gen" in capsys.readouterr().err
+    assert "subcommand" in capsys.readouterr().err
 
 
-def _train_args(path, steps="60"):
+# ----------------------------------------------------------------------
+# train
+# ----------------------------------------------------------------------
+def _train_args(path, extra=()):
     return [
+        "train",
         "--trace",
         str(path),
         "--steps",
-        steps,
+        "60",
         "--hidden-dim",
         "16",
         "--embed-dim",
         "8",
         "--seed",
         "0",
+        *extra,
     ]
+
+
+def test_malformed_trace_is_clean_error(tmp_path, capsys):
+    path = tmp_path / "bad.txt"
+    path.write_text("0x1,0x40\nbogus-line\n")
+    assert main(["train", "--trace", str(path)]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "line 2" in err
+
+
+def test_missing_trace_file_is_clean_error(tmp_path, capsys):
+    assert main(["train", "--trace", str(tmp_path / "nope.txt")]) == 1
+    assert "error:" in capsys.readouterr().err
 
 
 def test_training_run_prints_metrics(stride_trace_file, capsys):
@@ -75,6 +81,119 @@ def test_training_run_is_deterministic(stride_trace_file, capsys):
 
 
 def test_no_baselines_flag(stride_trace_file, capsys):
-    rc = main(_train_args(stride_trace_file) + ["--no-baselines"])
+    rc = main(_train_args(stride_trace_file, ["--no-baselines"]))
     assert rc == 0
     assert "baseline next_line" not in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# train --save -> simulate --checkpoint
+# ----------------------------------------------------------------------
+def test_train_save_then_simulate_checkpoint(stride_trace_file, tmp_path, capsys):
+    prefix = tmp_path / "ckpt" / "model"
+    rc = main(_train_args(stride_trace_file, ["--save", str(prefix)]))
+    assert rc == 0
+    assert "saved checkpoint" in capsys.readouterr().out
+    assert prefix.with_suffix(".npz").exists()
+    assert prefix.with_suffix(".vocab.json").exists()
+
+    rc = main(
+        [
+            "simulate",
+            "--trace",
+            str(stride_trace_file),
+            "--checkpoint",
+            str(prefix),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "prefetcher=neural" in out and "coverage=" in out
+
+
+def test_simulate_missing_checkpoint_is_clean_error(
+    stride_trace_file, tmp_path, capsys
+):
+    rc = main(
+        [
+            "simulate",
+            "--trace",
+            str(stride_trace_file),
+            "--checkpoint",
+            str(tmp_path / "absent"),
+        ]
+    )
+    assert rc == 1
+    assert "error:" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# simulate (baselines)
+# ----------------------------------------------------------------------
+def test_simulate_baseline_with_distance(stride_trace_file, capsys):
+    rc = main(
+        [
+            "simulate",
+            "--trace",
+            str(stride_trace_file),
+            "--prefetcher",
+            "next_line",
+            "--degree",
+            "1",
+            "--distance",
+            "8",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "prefetcher=next_line" in out
+    coverage = float(out.split("coverage=")[1].split()[0])
+    assert coverage > 0.9
+
+
+def test_simulate_none_reproduces_baseline_miss_rate(stride_trace_file, capsys):
+    rc = main(
+        ["simulate", "--trace", str(stride_trace_file), "--prefetcher", "none"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    miss = float(out.split(" miss_rate=")[1].split()[0])
+    baseline = float(out.split("baseline_miss_rate=")[1].split()[0])
+    assert miss == baseline
+
+
+# ----------------------------------------------------------------------
+# bench
+# ----------------------------------------------------------------------
+def test_bench_cmd_tiny_profile(tmp_path, capsys, monkeypatch):
+    """Fast-tier bench coverage: shrink the smoke profile, same code path."""
+    import voyager.cli as cli_mod
+    from voyager.bench import BenchProfile
+
+    tiny = BenchProfile(
+        name="tiny",
+        trace_length=200,
+        train_steps=5,
+        embed_dim=8,
+        hidden_dim=16,
+        workloads=("stride", "page_cycle"),
+    )
+    monkeypatch.setattr(cli_mod, "SMOKE_PROFILE", tiny)
+    out_path = tmp_path / "BENCH_voyager.json"
+    rc = main(["bench", "--smoke", "--out", str(out_path)])
+    assert rc == 0
+    report = json.loads(out_path.read_text())
+    assert validate_report(report) == []
+    assert "wrote" in capsys.readouterr().out
+
+
+@pytest.mark.slow
+def test_bench_smoke_writes_valid_report(tmp_path, capsys):
+    out_path = tmp_path / "BENCH_voyager.json"
+    rc = main(["bench", "--smoke", "--out", str(out_path)])
+    assert rc == 0
+    report = json.loads(out_path.read_text())
+    assert report["schema_version"] == BENCH_SCHEMA_VERSION
+    assert validate_report(report) == []
+    assert len(report["workloads"]) >= 2
+    assert "wrote" in capsys.readouterr().out
