@@ -11,9 +11,12 @@ Prefetching" (Shi et al., ASPLOS 2021).  The package is layered:
 - baseline layer: :mod:`voyager.baselines`
 - simulation layer: :mod:`voyager.sim` (trace-driven cache model),
   :mod:`voyager.bench` (workload sweep -> ``BENCH_voyager.json``)
+- inference layer: :mod:`voyager.infer` (cache-free incremental
+  engine behind the simulator hot path)
 """
 
 from voyager.baselines import NextLinePrefetcher, StridePrefetcher
+from voyager.infer import InferenceEngine, LSTMState
 from voyager.labeling import LabelConfig, make_labels
 from voyager.model import (
     HierarchicalModel,
@@ -47,6 +50,8 @@ __all__ = [
     "NUM_OFFSETS",
     "CacheConfig",
     "HierarchicalModel",
+    "InferenceEngine",
+    "LSTMState",
     "LabelConfig",
     "MemoryAccess",
     "ModelConfig",

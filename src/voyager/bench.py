@@ -7,17 +7,27 @@ a schema-versioned JSON report to the repo root (or ``--out``).  The
 report is the cross-PR benchmark trajectory ROADMAP asks for: CI runs
 the smoke profile and archives the file as a build artifact.
 
+Each prefetcher entry carries three wall-clock fields: ``train_s``
+(model training, zero for the table baselines), ``sim_s`` (the
+trace-driven simulation itself) and ``elapsed_s`` (their sum, kept for
+cross-PR comparability).  ``sim_s`` is what the CI timing gate checks:
+``python -m voyager.bench --profile smoke --max-neural-sim-s <budget>``
+fails the build if the neural simulation regresses to the old
+O(history x degree) full-forward cost.
+
 Everything is seeded, so two runs with the same profile produce
 identical metric values (wall-clock fields aside).
 """
 
 from __future__ import annotations
 
+import argparse
 import json
+import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from voyager import synthetic
 from voyager.labeling import LabelConfig
@@ -103,10 +113,14 @@ def bench_workload(
             prefetcher = _train_neural(trace, profile, seed)
         else:
             prefetcher = make_prefetcher(kind)
+        trained = time.perf_counter()
         sim = simulate(trace, prefetcher, profile.sim)
+        done = time.perf_counter()
         entry = sim.as_dict()
         del entry["prefetcher"]  # redundant with the dict key
-        entry["elapsed_s"] = round(time.perf_counter() - start, 3)
+        entry["train_s"] = round(trained - start, 3)
+        entry["sim_s"] = round(done - trained, 3)
+        entry["elapsed_s"] = round(done - start, 3)
         results[kind] = entry
     return results
 
@@ -190,4 +204,89 @@ def validate_report(report: Dict[str, Any]) -> List[str]:
                     problems.append(
                         f"{workload}/{kind}: coverage={value} out of [-1,1]"
                     )
+            for field_name in ("train_s", "sim_s", "elapsed_s"):
+                if not isinstance(entry.get(field_name), (int, float)):
+                    problems.append(
+                        f"{workload}/{kind}: missing timing {field_name}"
+                    )
     return problems
+
+
+def check_sim_budget(
+    report: Dict[str, Any], max_neural_sim_s: float
+) -> List[str]:
+    """Timing gate: neural ``sim_s`` must stay under the budget.
+
+    Returns one problem string per offending workload (empty = ok).
+    The budget is deliberately generous — it exists to catch an
+    accidental return to the O(history x degree) full-forward hot path,
+    not to benchmark the CI machine.
+    """
+    problems: List[str] = []
+    for workload, entries in report.get("workloads", {}).items():
+        sim_s = entries.get("neural", {}).get("sim_s")
+        if sim_s is None:
+            problems.append(f"{workload}: neural entry has no sim_s")
+        elif sim_s > max_neural_sim_s:
+            problems.append(
+                f"{workload}: neural sim_s={sim_s} exceeds budget "
+                f"{max_neural_sim_s}s"
+            )
+    return problems
+
+
+def _profile_by_name(name: str) -> BenchProfile:
+    profiles = {"smoke": SMOKE_PROFILE, "full": FULL_PROFILE}
+    if name not in profiles:
+        raise ValueError(
+            f"unknown profile {name!r}; expected one of {sorted(profiles)}"
+        )
+    return profiles[name]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m voyager.bench`` — run a sweep with an optional timing gate."""
+    parser = argparse.ArgumentParser(
+        prog="voyager.bench",
+        description="Sweep workloads x prefetchers, write a bench report.",
+    )
+    parser.add_argument(
+        "--profile",
+        choices=("smoke", "full"),
+        default="smoke",
+        help="workload size / training budget (default: smoke)",
+    )
+    parser.add_argument("--out", default=BENCH_FILENAME)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--max-neural-sim-s",
+        type=float,
+        default=None,
+        help="fail (exit 1) if any workload's neural sim_s exceeds this",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_bench(_profile_by_name(args.profile), seed=args.seed)
+    problems = validate_report(report)
+    if args.max_neural_sim_s is not None:
+        problems += check_sim_budget(report, args.max_neural_sim_s)
+    path = write_bench(report, args.out)
+    for workload, entries in report["workloads"].items():
+        for kind, entry in entries.items():
+            print(
+                f"{workload:12s} {kind:10s} "
+                f"coverage={entry['coverage']:.4f} "
+                f"accuracy={entry['accuracy']:.4f} "
+                f"train_s={entry['train_s']:.3f} "
+                f"sim_s={entry['sim_s']:.3f}"
+            )
+    print(f"wrote {path} (profile={report['profile']}, {report['elapsed_s']}s)")
+    if problems:
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    raise SystemExit(main())

@@ -24,6 +24,8 @@ import argparse
 import sys
 from typing import List, Optional
 
+import numpy as np
+
 from voyager import synthetic
 from voyager.baselines import (
     NextLinePrefetcher,
@@ -34,6 +36,7 @@ from voyager.bench import (
     BENCH_FILENAME,
     FULL_PROFILE,
     SMOKE_PROFILE,
+    check_sim_budget,
     run_bench,
     validate_report,
     write_bench,
@@ -118,6 +121,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("next_line", "stride", "none"),
         help="baseline prefetcher ('none' = demand-only cache)",
     )
+    sim.add_argument(
+        "--dtype",
+        choices=("float64", "float32"),
+        default="float64",
+        help="neural inference precision: float64 is bit-identical to "
+        "training, float32 trades exactness for speed",
+    )
     _add_sim_args(sim)
 
     bench = sub.add_parser(
@@ -126,10 +136,22 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--smoke",
         action="store_true",
-        help="small fast profile (CI-sized); default is the full profile",
+        help="shorthand for --profile smoke",
+    )
+    bench.add_argument(
+        "--profile",
+        choices=("smoke", "full"),
+        default="full",
+        help="workload size / training budget (default: full)",
     )
     bench.add_argument("--out", default=BENCH_FILENAME)
     bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--max-neural-sim-s",
+        type=float,
+        default=None,
+        help="fail if any workload's neural sim_s exceeds this budget",
+    )
 
     return parser
 
@@ -231,7 +253,14 @@ def run_simulate(args: argparse.Namespace) -> int:
     sim_config = _sim_config(args)
     if args.checkpoint:
         model, pc_vocab, page_vocab = load_checkpoint(args.checkpoint)
-        result = simulate_model(model, pc_vocab, page_vocab, trace, sim_config)
+        result = simulate_model(
+            model,
+            pc_vocab,
+            page_vocab,
+            trace,
+            sim_config,
+            dtype=np.float32 if args.dtype == "float32" else np.float64,
+        )
     elif args.prefetcher == "none":
         result = simulate(trace, None, sim_config)
     else:
@@ -241,9 +270,11 @@ def run_simulate(args: argparse.Namespace) -> int:
 
 
 def run_bench_cmd(args: argparse.Namespace) -> int:
-    profile = SMOKE_PROFILE if args.smoke else FULL_PROFILE
+    profile = SMOKE_PROFILE if args.smoke or args.profile == "smoke" else FULL_PROFILE
     report = run_bench(profile, seed=args.seed)
     problems = validate_report(report)
+    if args.max_neural_sim_s is not None:
+        problems += check_sim_budget(report, args.max_neural_sim_s)
     if problems:
         for problem in problems:
             print(f"error: invalid bench report: {problem}", file=sys.stderr)
@@ -256,7 +287,8 @@ def run_bench_cmd(args: argparse.Namespace) -> int:
                 f"coverage={entry['coverage']:.4f} "
                 f"accuracy={entry['accuracy']:.4f} "
                 f"timeliness={entry['timeliness']:.4f} "
-                f"miss_rate={entry['miss_rate']:.4f}"
+                f"miss_rate={entry['miss_rate']:.4f} "
+                f"sim_s={entry['sim_s']:.3f}"
             )
     print(f"wrote {path} (profile={profile.name}, {report['elapsed_s']}s)")
     return 0

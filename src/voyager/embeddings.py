@@ -13,6 +13,7 @@ whole model is dependency-free and deterministic.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Tuple
 
 import numpy as np
@@ -52,8 +53,13 @@ def page_aware_offset_forward(
     """
     d = offset_table.shape[-1]
     cand = offset_table[offset_ids]  # (B, H, K, d)
-    query = page_emb @ w_query  # (B, H, d)
-    scores = np.einsum("bhd,bhkd->bhk", query, cand) / np.sqrt(d)
+    # einsum (not @) so the per-position arithmetic is bit-identical to
+    # the single-step inference path regardless of batch/history shape;
+    # BLAS matmul reassociates differently per matrix size, einsum does
+    # not.  Same for the math.sqrt scale: a Python float keeps float32
+    # inference in float32 where a np.float64 scalar would upcast.
+    query = np.einsum("bhd,de->bhe", page_emb, w_query)  # (B, H, d)
+    scores = np.einsum("bhd,bhkd->bhk", query, cand) / math.sqrt(d)
     scores -= scores.max(axis=-1, keepdims=True)
     exp = np.exp(scores)
     alpha = exp / exp.sum(axis=-1, keepdims=True)  # (B, H, K)
@@ -66,6 +72,29 @@ def page_aware_offset_forward(
         "offset_ids": offset_ids,
     }
     return out, cache
+
+
+def page_aware_offset_step(
+    offset_table: np.ndarray,  # (num_offsets, K, d)
+    w_query: np.ndarray,  # (d, d)
+    page_emb: np.ndarray,  # (B, d)
+    offset_ids: np.ndarray,  # (B,) int
+) -> np.ndarray:
+    """Cache-free attention for a single history position.
+
+    Inference-mode counterpart of :func:`page_aware_offset_forward`:
+    identical arithmetic on a ``(B,)`` slice of ids, but no backward
+    cache is built.  In float64 the result is bit-identical to the
+    corresponding position of the full-window forward.
+    """
+    d = offset_table.shape[-1]
+    cand = offset_table[offset_ids]  # (B, K, d)
+    query = np.einsum("bd,de->be", page_emb, w_query)  # (B, d)
+    scores = np.einsum("bd,bkd->bk", query, cand) / math.sqrt(d)
+    scores -= scores.max(axis=-1, keepdims=True)
+    exp = np.exp(scores)
+    alpha = exp / exp.sum(axis=-1, keepdims=True)  # (B, K)
+    return np.einsum("bk,bkd->bd", alpha, cand)
 
 
 def page_aware_offset_backward(
@@ -93,7 +122,7 @@ def page_aware_offset_backward(
     grad_scores = alpha * (
         grad_alpha - (grad_alpha * alpha).sum(axis=-1, keepdims=True)
     )
-    grad_scores /= np.sqrt(d)
+    grad_scores /= math.sqrt(d)
 
     grad_query = np.einsum("bhk,bhkd->bhd", grad_scores, cand)
     grad_cand += grad_scores[..., None] * query[:, :, None, :]

@@ -83,6 +83,7 @@ def simulate_model(
     page_vocab: Vocab,
     trace: Sequence[MemoryAccess],
     sim_config: Optional[SimConfig] = None,
+    dtype=np.float64,
 ) -> SimResult:
     """Cache-outcome evaluation of a trained model on a raw trace.
 
@@ -90,8 +91,13 @@ def simulate_model(
     prefetch issue queue into a set-associative LRU cache, and quality
     is measured as coverage (misses eliminated), accuracy (useful per
     issued prefetch) and timeliness — not argmax token accuracy.
+
+    The prefetcher runs on the cache-free inference engine and is
+    primed (batched over the whole trace) by :func:`~voyager.sim.simulate`.
+    ``dtype=np.float32`` opts into the faster approximate mode; the
+    float64 default is bit-identical to the training-mode forward.
     """
-    prefetcher = NeuralPrefetcher(model, pc_vocab, page_vocab)
+    prefetcher = NeuralPrefetcher(model, pc_vocab, page_vocab, dtype=dtype)
     return simulate(trace, prefetcher, sim_config or SimConfig())
 
 

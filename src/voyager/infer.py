@@ -1,0 +1,293 @@
+"""Fast inference engine: incremental LSTM state, cache-free, batched.
+
+Training-mode :meth:`~voyager.model.HierarchicalModel.forward` builds
+the full backprop cache (per-step gate dicts, attention tensors) on
+every call — exactly what a simulator hot path must not pay.  This
+module is the inference-only counterpart:
+
+- :class:`LSTMState` — an explicit ``(h, c)`` pair that can be carried
+  incrementally, snapshotted, and advanced one access at a time;
+- :class:`InferenceEngine` — cache-free single-step and full-window
+  state computation, head logits, argmax / ``argpartition`` top-k
+  prediction, and two batched greedy rollouts:
+  :meth:`~InferenceEngine.rollout` continues from a state snapshot
+  (cheapest: one LSTM step per lookahead step), while
+  :meth:`~InferenceEngine.rollout_window` replays the trained
+  fixed-length window per step over *precomputed features* — the mode
+  the simulator uses, because the LSTM is only ever trained on
+  ``history``-step windows from a zero state and drifts badly when a
+  state is continued past that horizon;
+- an optional float32 mode (``dtype=np.float32``) that halves memory
+  traffic for throughput-oriented simulation.
+
+Equivalence guarantee: with ``dtype=np.float64`` (the default) the
+engine shares the model's parameter arrays and performs the same
+operations in the same order as the training forward, so
+:meth:`InferenceEngine.state_from_history` followed by
+:meth:`InferenceEngine.logits` reproduces ``model.forward`` logits
+**bit-exactly**; feeding a window one access at a time through
+:meth:`InferenceEngine.step` reproduces the same state bit-exactly;
+and :meth:`InferenceEngine.rollout_window` over gathered features is
+bit-exact to forwarding each slid pseudo-window from scratch.  The
+property tests in ``tests/test_infer.py`` pin all three.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from voyager.model import (
+    HierarchicalModel,
+    head_logits,
+    lstm_step,
+    softmax,
+    state_from_features,
+    step_features,
+    topk_from_logits,
+    window_features,
+    window_state,
+)
+from voyager.vocab import OOV_ID
+
+
+@dataclass
+class LSTMState:
+    """Carried ``(h, c)`` recurrent state for a batch of sequences."""
+
+    h: np.ndarray  # (B, hidden)
+    c: np.ndarray  # (B, hidden)
+
+    @property
+    def batch(self) -> int:
+        return self.h.shape[0]
+
+    def copy(self) -> "LSTMState":
+        return LSTMState(h=self.h.copy(), c=self.c.copy())
+
+
+class InferenceEngine:
+    """Cache-free incremental inference over a trained model.
+
+    In float64 mode the engine aliases the model's parameter arrays
+    (zero copy, bit-identical results); in float32 mode it keeps a
+    one-time down-cast copy.  All methods are functional: states are
+    returned, never mutated in place, so a state can be snapshotted by
+    reference and rolled out without disturbing the online stream.
+    """
+
+    def __init__(self, model: HierarchicalModel, dtype=np.float64):
+        self.config = model.config
+        self.dtype = np.dtype(dtype)
+        if self.dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
+            raise ValueError(
+                f"dtype must be float64 or float32, got {self.dtype}"
+            )
+        if self.dtype == np.dtype(np.float64):
+            self.params: Dict[str, np.ndarray] = model.params
+        else:
+            self.params = {
+                k: v.astype(self.dtype) for k, v in model.params.items()
+            }
+
+    # ------------------------------------------------------------------
+    # features and state construction
+    # ------------------------------------------------------------------
+    def feature_step(
+        self,
+        pc_ids: np.ndarray,  # (B,)
+        page_ids: np.ndarray,  # (B,)
+        offset_ids: np.ndarray,  # (B,)
+    ) -> np.ndarray:
+        """Embed one access per row: ``(B,)`` ids -> ``(B, 3d)`` features.
+
+        Features carry no recurrence, so an online caller can compute
+        each access's feature exactly once and re-gather it for every
+        window that contains the access — that is what makes
+        :meth:`rollout_window` pay only the LSTM recurrence per step.
+        """
+        return step_features(self.params, pc_ids, page_ids, offset_ids)
+
+    def features(
+        self,
+        pc_ids: np.ndarray,  # (B, H)
+        page_ids: np.ndarray,  # (B, H)
+        offset_ids: np.ndarray,  # (B, H)
+    ) -> np.ndarray:
+        """Embed full windows: ``(B, H)`` ids -> ``(B, H, 3d)`` features."""
+        return window_features(self.params, pc_ids, page_ids, offset_ids)
+
+    def init_state(self, batch: int = 1) -> LSTMState:
+        """All-zero state for ``batch`` independent sequences."""
+        h_dim = self.config.hidden_dim
+        return LSTMState(
+            h=np.zeros((batch, h_dim), dtype=self.dtype),
+            c=np.zeros((batch, h_dim), dtype=self.dtype),
+        )
+
+    def step(
+        self,
+        state: LSTMState,
+        pc_ids: np.ndarray,  # (B,)
+        page_ids: np.ndarray,  # (B,)
+        offset_ids: np.ndarray,  # (B,)
+    ) -> LSTMState:
+        """Advance every row of ``state`` by one observed access."""
+        x_t = self.feature_step(pc_ids, page_ids, offset_ids)
+        h, c, _ = lstm_step(self.params, x_t, state.h, state.c)
+        return LSTMState(h=h, c=c)
+
+    def state_from_features(self, x: np.ndarray) -> LSTMState:
+        """Run the LSTM over precomputed ``(B, H, 3d)`` window features."""
+        h, c = state_from_features(self.params, x)
+        return LSTMState(h=h, c=c)
+
+    def state_from_history(
+        self,
+        pc_ids: np.ndarray,  # (B, H)
+        page_ids: np.ndarray,  # (B, H)
+        offset_ids: np.ndarray,  # (B, H)
+    ) -> LSTMState:
+        """Cache-free full-window forward: ``(B, H)`` ids -> state.
+
+        One call embeds and attends over the whole window at once (the
+        batched fast path for priming a simulator over every trace
+        position simultaneously), then steps the cell ``H`` times.
+        """
+        h, c = window_state(
+            self.params, self.config.history, pc_ids, page_ids, offset_ids
+        )
+        return LSTMState(h=h, c=c)
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+    def logits(self, state: LSTMState) -> Tuple[np.ndarray, np.ndarray]:
+        """Raw ``(page_logits, offset_logits)`` for a state."""
+        return head_logits(self.params, state.h)
+
+    def probs(self, state: LSTMState) -> Tuple[np.ndarray, np.ndarray]:
+        """Softmax head distributions for a state."""
+        page_logits, offset_logits = self.logits(state)
+        return softmax(page_logits), softmax(offset_logits)
+
+    def predict(self, state: LSTMState) -> Tuple[np.ndarray, np.ndarray]:
+        """Argmax ``(page_ids, offset_ids)`` per row, no softmax."""
+        page_logits, offset_logits = self.logits(state)
+        return page_logits.argmax(axis=-1), offset_logits.argmax(axis=-1)
+
+    def predict_topk(
+        self, state: LSTMState, k: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` ``(page_ids, offset_ids)`` per row via argpartition."""
+        page_logits, offset_logits = self.logits(state)
+        return (
+            topk_from_logits(page_logits, k),
+            topk_from_logits(offset_logits, k),
+        )
+
+    # ------------------------------------------------------------------
+    # rollout
+    # ------------------------------------------------------------------
+    def rollout(
+        self,
+        state: LSTMState,
+        pc_ids: np.ndarray,  # (B,) pc id fed at every pseudo step
+        steps: int,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Greedy state-continuation lookahead for every row at once.
+
+        From a snapshot ``state``, repeatedly take the argmax
+        ``(page, offset)`` prediction and feed it back as the next
+        pseudo-access (the PC slot repeats ``pc_ids``), advancing the
+        state in place of the slid window.  This is the cheapest
+        possible rollout — one LSTM step per lookahead step — but it
+        carries the state *past* the ``history``-step horizon the model
+        was trained on, which measurably degrades multi-step prediction
+        quality; prefer :meth:`rollout_window` when fidelity to the
+        trained window semantics matters (the simulator does).
+
+        Returns ``(pages, offsets, valid)`` of shape ``(B, steps)``;
+        ``valid[b, j]`` is False from the first step where row ``b``
+        predicted the OOV page onward — the model cannot name a
+        concrete page past that horizon.
+
+        ``state`` is not mutated, so callers may roll out from a live
+        online state and keep streaming afterwards.
+        """
+        if steps < 0:
+            raise ValueError(f"steps must be >= 0, got {steps}")
+        B = state.batch
+        pages = np.zeros((B, steps), dtype=np.int64)
+        offsets = np.zeros((B, steps), dtype=np.int64)
+        valid = np.zeros((B, steps), dtype=bool)
+        alive = np.ones(B, dtype=bool)
+        for j in range(steps):
+            pid, oid = self.predict(state)
+            alive = alive & (pid != OOV_ID)
+            if not alive.any():
+                break
+            pages[:, j] = pid
+            offsets[:, j] = oid
+            valid[:, j] = alive
+            if j + 1 < steps:
+                state = self.step(state, pc_ids, pid, oid)
+        return pages, offsets, valid
+
+    def rollout_window(
+        self,
+        feats: np.ndarray,  # (B, H, 3d) precomputed window features
+        pc_ids: np.ndarray,  # (B,) pc id fed at every pseudo step
+        steps: int,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Greedy window-replay lookahead for every row at once.
+
+        Each lookahead step slides the feature window one position —
+        dropping the oldest access, appending the feature of the
+        prediction just made (PC slot repeats ``pc_ids``) — and re-runs
+        the LSTM over the slid window from a zero state, exactly as the
+        model saw every window during training.  Because window
+        *features* have no recurrence they are computed once (here,
+        gathered; new pseudo-accesses embed once via
+        :meth:`feature_step`), so each step costs ``H`` batched LSTM
+        cell evaluations and nothing else — no embedding or attention
+        recompute for the ``H - 1`` retained positions, no backprop
+        cache, no softmax.
+
+        Bit-exactness: the emitted predictions equal forwarding each
+        slid pseudo-window from scratch at the same batch width.
+
+        Returns ``(pages, offsets, valid)`` with the same shape and OOV
+        semantics as :meth:`rollout`.  ``feats`` is not mutated.
+        """
+        if steps < 0:
+            raise ValueError(f"steps must be >= 0, got {steps}")
+        B, H = feats.shape[0], feats.shape[1]
+        pages = np.zeros((B, steps), dtype=np.int64)
+        offsets = np.zeros((B, steps), dtype=np.int64)
+        valid = np.zeros((B, steps), dtype=bool)
+        if steps == 0:
+            return pages, offsets, valid
+        # One flat buffer holds the real window plus every pseudo step;
+        # each iteration's window is a strided view into it, so sliding
+        # costs a single (B, 3d) write instead of a (B, H, 3d) copy.
+        buf = np.empty((B, H + steps - 1, feats.shape[2]), dtype=feats.dtype)
+        buf[:, :H] = feats
+        alive = np.ones(B, dtype=bool)
+        for j in range(steps):
+            state = self.state_from_features(buf[:, j : j + H])
+            pid, oid = self.predict(state)
+            alive = alive & (pid != OOV_ID)
+            if not alive.any():
+                break
+            pages[:, j] = pid
+            offsets[:, j] = oid
+            valid[:, j] = alive
+            if j + 1 < steps:
+                buf[:, H + j] = self.feature_step(pc_ids, pid, oid)
+        return pages, offsets, valid
+
+
+__all__ = ["InferenceEngine", "LSTMState"]

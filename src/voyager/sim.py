@@ -44,9 +44,10 @@ from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
+from voyager.infer import InferenceEngine
 from voyager.model import HierarchicalModel
 from voyager.traces import NUM_OFFSETS, OFFSET_BITS, MemoryAccess
-from voyager.vocab import OOV_ID, Vocab
+from voyager.vocab import Vocab
 
 
 class Prefetcher(Protocol):
@@ -263,6 +264,15 @@ def simulate(
     cache = SetAssociativeCache(config.cache)
     baseline_cache = SetAssociativeCache(config.cache)
 
+    # Offline fast path: a prefetcher whose predictions depend only on
+    # the access stream (not on cache state) may precompute them for
+    # the whole trace in one batched pass.  The hook is optional — the
+    # baselines stay streaming — and changes no simulation semantics.
+    if prefetcher is not None and config.degree > 0:
+        prime = getattr(prefetcher, "prime", None)
+        if prime is not None:
+            prime(trace, config.degree + config.distance)
+
     in_flight: "OrderedDict[int, int]" = OrderedDict()  # block -> arrival time
     arrivals: deque = deque()  # (arrival_time, block) in issue order
 
@@ -345,17 +355,40 @@ class NeuralPrefetcher:
     """Adapts a trained :class:`HierarchicalModel` to the sim protocol.
 
     Keeps a sliding window of the last ``history`` accesses (encoded
-    through the training vocabularies).  Once warm, ``prefetch`` rolls
-    the model forward ``degree`` steps: each step takes the argmax
-    ``(page, offset)`` prediction, emits its block address, and feeds
-    the prediction back as pseudo-history for the next step (the PC
-    slot repeats the current access's PC id).  The candidate list is
-    therefore temporally ordered — candidate ``k`` is the model's guess
-    for the access ``k + 1`` steps ahead — matching the baselines'
-    sequential chains, so :class:`SimConfig` ``distance`` means the
-    same thing for all three prefetchers.  The rollout stops early if a
-    step predicts the OOV page: the model cannot name a concrete page
-    beyond that horizon.
+    through the training vocabularies) and drives a cache-free
+    :class:`~voyager.infer.InferenceEngine` instead of the training
+    forward.  ``update`` advances incremental state: each observed
+    access is embedded+attended exactly once (features carry no
+    recurrence, so they never need recomputing).  ``prefetch`` then
+    rolls out ``degree`` steps with the engine's window-replay rollout:
+    each step takes the argmax ``(page, offset)`` prediction, emits its
+    block address, slides the cached feature window by the prediction
+    (the PC slot repeats the current access's PC id), and re-runs only
+    the LSTM recurrence — the model is trained exclusively on
+    ``history``-step windows from a zero state, so replaying the slid
+    window is what keeps multi-step predictions in distribution.
+    The candidate list is temporally ordered — candidate ``k`` is the
+    model's guess for the access ``k + 1`` steps ahead — matching the
+    baselines' sequential chains, so :class:`SimConfig` ``distance``
+    means the same thing for all three prefetchers.  The rollout stops
+    early if a step predicts the OOV page: the model cannot name a
+    concrete page beyond that horizon.
+
+    Two execution modes share identical arithmetic:
+
+    - *streaming* (default): ``update``/``prefetch`` per access — one
+      feature embed per update, ``degree`` feature-cached LSTM replays
+      per prefetch — the online deployment shape;
+    - *primed*: :meth:`prime` precomputes the rollout for **every**
+      trace position in one batched pass (all window features embedded
+      at once, then ``degree`` batched replay steps), after which
+      ``prefetch`` is a list lookup and ``update`` is a counter bump.
+      :func:`simulate` primes automatically; this is what makes the
+      neural simulator hot path competitive with the table baselines.
+
+    Float32 mode (``dtype=np.float32``) trades bit-exactness for
+    roughly halved memory traffic; float64 (default) predictions are
+    bit-identical to the training-mode forward.
     """
 
     name = "neural"
@@ -365,46 +398,106 @@ class NeuralPrefetcher:
         model: HierarchicalModel,
         pc_vocab: Vocab,
         page_vocab: Vocab,
+        dtype=np.float64,
     ):
         self.model = model
         self.pc_vocab = pc_vocab
         self.page_vocab = page_vocab
+        self.engine = InferenceEngine(model, dtype=dtype)
         history = model.config.history
         self._pc_ids: deque = deque(maxlen=history)
-        self._page_ids: deque = deque(maxlen=history)
-        self._offset_ids: deque = deque(maxlen=history)
+        self._feats: deque = deque(maxlen=history)  # (3d,) per access
+        # Vectorised page-id -> raw-page decode (index 0 is the OOV
+        # placeholder; rollouts never mark an OOV prediction valid).
+        self._page_table = np.array(
+            [0] + [page_vocab.decode(i) for i in range(1, page_vocab.size)],
+            dtype=np.int64,
+        )
+        # primed-mode storage: candidate blocks per trace position
+        self._primed: Optional[List[List[int]]] = None
+        self._pos = -1
 
     def update(self, access: MemoryAccess) -> None:
-        self._pc_ids.append(self.pc_vocab.encode(access.pc))
-        self._page_ids.append(self.page_vocab.encode(access.page))
-        self._offset_ids.append(access.offset)
+        self._pos += 1
+        if self._primed is not None:
+            return  # primed mode: candidates are precomputed by position
+        pc_id = self.pc_vocab.encode(access.pc)
+        self._pc_ids.append(pc_id)
+        feat = self.engine.feature_step(
+            np.array([pc_id], dtype=np.int64),
+            np.array([self.page_vocab.encode(access.page)], dtype=np.int64),
+            np.array([access.offset], dtype=np.int64),
+        )
+        self._feats.append(feat[0])
+
+    def _decode_blocks(
+        self,
+        pages: np.ndarray,  # (S,) page vocab ids
+        offsets: np.ndarray,  # (S,)
+        valid: np.ndarray,  # (S,) bool
+        limit: int,
+    ) -> List[int]:
+        # ``valid`` is a monotone prefix (False from the first OOV on),
+        # so its first False bounds the decodable candidates.
+        n = min(limit, valid.shape[0] if valid.all() else int(valid.argmin()))
+        raw = self._page_table[pages[:n]]
+        return ((raw << OFFSET_BITS) | offsets[:n]).tolist()
 
     def prefetch(self, access: MemoryAccess, degree: int = 1) -> List[int]:
-        history = self.model.config.history
-        if degree < 1 or len(self._pc_ids) < history:
+        if degree < 1:
             return []
-        pc = list(self._pc_ids)
-        page = list(self._page_ids)
-        off = list(self._offset_ids)
+        if self._primed is not None:
+            if 0 <= self._pos < len(self._primed):
+                return self._primed[self._pos][:degree]
+            return []
+        if len(self._pc_ids) < self.model.config.history:
+            return []
 
-        blocks: List[int] = []
-        for _ in range(degree):
-            page_probs, offset_probs, _ = self.model.forward(
-                np.array([pc], dtype=np.int64),
-                np.array([page], dtype=np.int64),
-                np.array([off], dtype=np.int64),
-            )
-            pid = int(page_probs[0].argmax())
-            oid = int(offset_probs[0].argmax())
-            if pid == OOV_ID:
-                break
-            raw_page = self.page_vocab.decode(pid)
-            blocks.append((int(raw_page) << OFFSET_BITS) | oid)
-            # slide the pseudo-history window forward by one step
-            pc = pc[1:] + [pc[-1]]
-            page = page[1:] + [pid]
-            off = off[1:] + [oid]
-        return blocks
+        feats = np.stack(self._feats)[None, :, :]  # (1, H, 3d)
+        pc_last = np.array([self._pc_ids[-1]], dtype=np.int64)
+        pages, offsets, valid = self.engine.rollout_window(
+            feats, pc_last, degree
+        )
+        return self._decode_blocks(pages[0], offsets[0], valid[0], degree)
+
+    def prime(self, trace: Sequence[MemoryAccess], lookahead: int) -> None:
+        """Precompute ``lookahead`` candidates for every position of ``trace``.
+
+        Resets the online window and switches the prefetcher to serving
+        candidates by position as the caller replays the same trace
+        through ``update``/``prefetch``.  Predictions depend only on
+        the access stream, so this is a pure batching transform — the
+        arithmetic per position matches the streaming mode.
+        """
+        history = self.model.config.history
+        self._pc_ids.clear()
+        self._feats.clear()
+        self._pos = -1
+        n = len(trace)
+        self._primed = [[] for _ in range(n)]
+        if lookahead < 1 or n < history:
+            return
+
+        pc_all = np.array(
+            self.pc_vocab.encode_all(a.pc for a in trace), dtype=np.int64
+        )
+        page_all = np.array(
+            self.page_vocab.encode_all(a.page for a in trace), dtype=np.int64
+        )
+        off_all = np.array([a.offset for a in trace], dtype=np.int64)
+        windows = np.lib.stride_tricks.sliding_window_view
+        pc_w = windows(pc_all, history)  # (n - H + 1, H)
+        page_w = windows(page_all, history)
+        off_w = windows(off_all, history)
+
+        feats = self.engine.features(pc_w, page_w, off_w)
+        pages, offsets, valid = self.engine.rollout_window(
+            feats, pc_w[:, -1], lookahead
+        )
+        blocks = (self._page_table[pages] << OFFSET_BITS) | offsets
+        counts = np.where(valid.all(axis=1), lookahead, valid.argmin(axis=1))
+        for row, pos in enumerate(range(history - 1, n)):
+            self._primed[pos] = blocks[row, : counts[row]].tolist()
 
 
 def make_prefetcher(
@@ -412,6 +505,7 @@ def make_prefetcher(
     model: Optional[HierarchicalModel] = None,
     pc_vocab: Optional[Vocab] = None,
     page_vocab: Optional[Vocab] = None,
+    dtype=np.float64,
 ) -> Prefetcher:
     """Factory over the three prefetcher kinds used by bench and the CLI."""
     from voyager.baselines import NextLinePrefetcher, StridePrefetcher
@@ -425,7 +519,7 @@ def make_prefetcher(
             raise ValueError(
                 "kind='neural' requires model, pc_vocab and page_vocab"
             )
-        return NeuralPrefetcher(model, pc_vocab, page_vocab)
+        return NeuralPrefetcher(model, pc_vocab, page_vocab, dtype=dtype)
     raise ValueError(
         f"unknown prefetcher kind {kind!r}; "
         "expected 'next_line', 'stride' or 'neural'"

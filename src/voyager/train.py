@@ -122,6 +122,32 @@ class TrainResult:
         return self.losses[-1]
 
 
+def batch_indices(
+    n: int, batch_size: int, steps: int, rng: np.random.Generator
+):
+    """Yield ``steps`` minibatch index arrays via seeded epoch permutations.
+
+    One ``rng.permutation(n)`` per epoch, consumed in contiguous
+    ``batch_size`` slices; a fresh permutation starts whenever fewer
+    than ``batch_size`` indices remain.  Compared to per-step
+    ``rng.choice(n, size=bs, replace=False)`` this is O(n) per *epoch*
+    rather than per step, and every example is visited once per epoch
+    (without-replacement across the whole epoch, not just within one
+    batch).  Deterministic for a given generator state.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    bs = min(batch_size, n)
+    perm = rng.permutation(n)
+    cursor = 0
+    for _ in range(steps):
+        if cursor + bs > n:
+            perm = rng.permutation(n)
+            cursor = 0
+        yield perm[cursor : cursor + bs]
+        cursor += bs
+
+
 def train(
     model: HierarchicalModel,
     dataset: Dataset,
@@ -133,18 +159,20 @@ def train(
 ) -> TrainResult:
     """Teacher-forced minibatch training with Adam.
 
-    Batches are sampled with a dedicated seeded RNG, so two calls with
-    identical arguments produce bit-identical parameter trajectories.
+    Batches come from :func:`batch_indices` — seeded epoch permutations
+    consumed slice by slice — so two calls with identical arguments
+    produce bit-identical parameter trajectories and each epoch visits
+    every example exactly once.
     """
     if steps < 1:
         raise ValueError("steps must be >= 1")
     rng = np.random.default_rng(seed)
     opt = Adam(model.params, lr=lr)
     n = len(dataset)
-    bs = min(batch_size, n)
     losses: List[float] = []
-    for step in range(steps):
-        batch = rng.choice(n, size=bs, replace=False)
+    for step, batch in enumerate(
+        batch_indices(n, batch_size, steps, rng)
+    ):
         loss, grads = model.loss_and_grads(
             dataset.pc_ids[batch],
             dataset.page_ids[batch],

@@ -8,6 +8,7 @@ from voyager.bench import (
     BENCH_SCHEMA_VERSION,
     PREFETCHERS,
     BenchProfile,
+    check_sim_budget,
     run_bench,
     validate_report,
     write_bench,
@@ -74,6 +75,32 @@ def test_bench_metrics_deterministic_across_runs(report):
                 )
 
 
+def test_entries_carry_timing_fields(report):
+    for entries in report["workloads"].values():
+        for entry in entries.values():
+            for field in ("train_s", "sim_s", "elapsed_s"):
+                assert isinstance(entry[field], float)
+                assert entry[field] >= 0.0
+            assert entry["elapsed_s"] == pytest.approx(
+                entry["train_s"] + entry["sim_s"], abs=2e-3
+            )
+
+
+def test_validator_flags_missing_timing(report):
+    broken = json.loads(json.dumps(report))
+    del broken["workloads"]["stride"]["neural"]["sim_s"]
+    assert any("sim_s" in p for p in validate_report(broken))
+
+
+def test_check_sim_budget_gate(report):
+    assert check_sim_budget(report, 1e9) == []
+    over = check_sim_budget(report, -1.0)
+    assert len(over) == len(report["workloads"])
+    assert all("exceeds budget" in p for p in over)
+    missing = {"workloads": {"stride": {"neural": {}}}}
+    assert any("no sim_s" in p for p in check_sim_budget(missing, 1.0))
+
+
 def test_next_line_covers_stride_workload(report):
     entry = report["workloads"]["stride"]["next_line"]
     assert entry["coverage"] > 0.9
@@ -85,3 +112,30 @@ def test_write_bench_is_valid_json(report, tmp_path):
     loaded = json.loads(path.read_text())
     assert loaded["schema_version"] == BENCH_SCHEMA_VERSION
     assert validate_report(loaded) == []
+
+
+def test_main_entry_point_runs_and_gates(tmp_path, capsys, monkeypatch):
+    """``python -m voyager.bench`` on a tiny profile: exit 0, then gate."""
+    import voyager.bench as bench_mod
+
+    monkeypatch.setattr(bench_mod, "SMOKE_PROFILE", TINY)
+    out = tmp_path / "BENCH_voyager.json"
+    rc = bench_mod.main(
+        ["--profile", "smoke", "--out", str(out), "--max-neural-sim-s", "1e9"]
+    )
+    assert rc == 0
+    assert validate_report(json.loads(out.read_text())) == []
+    assert "wrote" in capsys.readouterr().out
+
+    rc = bench_mod.main(
+        ["--profile", "smoke", "--out", str(out), "--max-neural-sim-s", "-1"]
+    )
+    assert rc == 1
+    assert "exceeds budget" in capsys.readouterr().err
+
+
+def test_main_rejects_unknown_profile():
+    from voyager.bench import _profile_by_name
+
+    with pytest.raises(ValueError, match="unknown profile"):
+        _profile_by_name("huge")

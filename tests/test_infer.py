@@ -1,0 +1,297 @@
+"""Inference-engine tests: bit-exact equivalence, no backprop cache.
+
+The engine's contract is arithmetic, not approximate: in float64 the
+cache-free incremental path must reproduce the training-mode forward
+bit for bit (see :mod:`voyager.infer`).  The property tests here drive
+that over randomly drawn models and windows; the cache tests prove the
+simulator hot path never touches ``model.forward``.
+"""
+
+import numpy as np
+import pytest
+
+from voyager.infer import InferenceEngine, LSTMState
+from voyager.model import HierarchicalModel, ModelConfig
+from voyager.sim import NeuralPrefetcher, SimConfig, simulate
+from voyager.synthetic import page_cycle_trace
+from voyager.train import build_dataset
+from voyager.vocab import OOV_ID
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+
+def tiny_model(seed: int = 1) -> HierarchicalModel:
+    return HierarchicalModel(
+        ModelConfig(
+            pc_vocab_size=5,
+            page_vocab_size=6,
+            num_offsets=8,
+            embed_dim=3,
+            hidden_dim=4,
+            history=3,
+            attention_candidates=2,
+            seed=seed,
+        )
+    )
+
+
+def random_windows(model: HierarchicalModel, B: int, seed: int):
+    cfg = model.config
+    rng = np.random.default_rng(seed)
+    return (
+        rng.integers(0, cfg.pc_vocab_size, (B, cfg.history)),
+        rng.integers(0, cfg.page_vocab_size, (B, cfg.history)),
+        rng.integers(0, cfg.num_offsets, (B, cfg.history)),
+    )
+
+
+# ----------------------------------------------------------------------
+# bit-exact equivalence properties (float64)
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    model_seed=st.integers(min_value=0, max_value=50),
+    data_seed=st.integers(min_value=0, max_value=1_000_000),
+    B=st.integers(min_value=1, max_value=5),
+)
+def test_window_state_matches_forward_bit_exactly(model_seed, data_seed, B):
+    """Cache-free full-window state == training forward, bit for bit."""
+    model = tiny_model(model_seed)
+    pc, page, off = random_windows(model, B, data_seed)
+    page_probs, off_probs, cache = model.forward(pc, page, off)
+
+    eng = InferenceEngine(model)
+    state = eng.state_from_history(pc, page, off)
+    np.testing.assert_array_equal(state.h, cache["h_final"])
+    eng_page, eng_off = eng.probs(state)
+    np.testing.assert_array_equal(eng_page, page_probs)
+    np.testing.assert_array_equal(eng_off, off_probs)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    model_seed=st.integers(min_value=0, max_value=50),
+    data_seed=st.integers(min_value=0, max_value=1_000_000),
+    B=st.integers(min_value=1, max_value=5),
+)
+def test_incremental_steps_match_forward_bit_exactly(model_seed, data_seed, B):
+    """Feeding a window one access at a time == training forward."""
+    model = tiny_model(model_seed)
+    pc, page, off = random_windows(model, B, data_seed)
+    _, _, cache = model.forward(pc, page, off)
+
+    eng = InferenceEngine(model)
+    state = eng.init_state(B)
+    for t in range(model.config.history):
+        state = eng.step(state, pc[:, t], page[:, t], off[:, t])
+    np.testing.assert_array_equal(state.h, cache["h_final"])
+
+    full_logits = eng.logits(eng.state_from_history(pc, page, off))
+    inc_logits = eng.logits(state)
+    np.testing.assert_array_equal(inc_logits[0], full_logits[0])
+    np.testing.assert_array_equal(inc_logits[1], full_logits[1])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    model_seed=st.integers(min_value=0, max_value=50),
+    data_seed=st.integers(min_value=0, max_value=1_000_000),
+    B=st.integers(min_value=1, max_value=4),
+    steps=st.integers(min_value=1, max_value=4),
+)
+def test_rollout_window_matches_slid_full_forwards(
+    model_seed, data_seed, B, steps
+):
+    """Feature-cached window replay == forwarding every slid window.
+
+    The reference slides the raw id windows (drop oldest, append the
+    prediction, PC repeats the last column) and runs the full training
+    forward from scratch each step — the semantics the feature-gather
+    fast path must reproduce bit-exactly, OOV masking included.
+    """
+    model = tiny_model(model_seed)
+    pc, page, off = random_windows(model, B, data_seed)
+    eng = InferenceEngine(model)
+
+    feats = eng.features(pc, page, off)
+    pages, offsets, valid = eng.rollout_window(feats, pc[:, -1], steps)
+
+    ref_pc, ref_page, ref_off = pc.copy(), page.copy(), off.copy()
+    alive = np.ones(B, dtype=bool)
+    for j in range(steps):
+        probs_page, probs_off, _ = model.forward(ref_pc, ref_page, ref_off)
+        pid = probs_page.argmax(axis=-1)
+        oid = probs_off.argmax(axis=-1)
+        alive = alive & (pid != OOV_ID)
+        if not alive.any():
+            np.testing.assert_array_equal(valid[:, j:], False)
+            break
+        np.testing.assert_array_equal(valid[:, j], alive)
+        np.testing.assert_array_equal(pages[alive, j], pid[alive])
+        np.testing.assert_array_equal(offsets[alive, j], oid[alive])
+        ref_pc = np.concatenate([ref_pc[:, 1:], ref_pc[:, -1:]], axis=1)
+        ref_page = np.concatenate([ref_page[:, 1:], pid[:, None]], axis=1)
+        ref_off = np.concatenate([ref_off[:, 1:], oid[:, None]], axis=1)
+
+
+def test_rollout_window_does_not_mutate_features():
+    model = tiny_model()
+    pc, page, off = random_windows(model, 3, seed=9)
+    eng = InferenceEngine(model)
+    feats = eng.features(pc, page, off)
+    before = feats.copy()
+    eng.rollout_window(feats, pc[:, -1], 3)
+    np.testing.assert_array_equal(feats, before)
+
+
+# ----------------------------------------------------------------------
+# engine API behaviour
+# ----------------------------------------------------------------------
+def test_float64_engine_aliases_model_params():
+    """Zero-copy: the default engine shares the model's arrays."""
+    model = tiny_model()
+    eng = InferenceEngine(model)
+    assert all(eng.params[k] is model.params[k] for k in model.params)
+
+
+def test_float32_mode_runs_end_to_end_in_float32():
+    model = tiny_model()
+    eng = InferenceEngine(model, dtype=np.float32)
+    assert all(v.dtype == np.float32 for v in eng.params.values())
+    pc, page, off = random_windows(model, 2, seed=3)
+    state = eng.state_from_history(pc, page, off)
+    assert state.h.dtype == np.float32 and state.c.dtype == np.float32
+    page_logits, off_logits = eng.logits(state)
+    assert page_logits.dtype == np.float32
+    assert off_logits.dtype == np.float32
+    state = eng.step(state, pc[:, -1], page[:, -1], off[:, -1])
+    assert state.h.dtype == np.float32
+
+
+def test_invalid_dtype_rejected():
+    with pytest.raises(ValueError, match="dtype"):
+        InferenceEngine(tiny_model(), dtype=np.int32)
+
+
+def test_negative_rollout_steps_rejected():
+    model = tiny_model()
+    eng = InferenceEngine(model)
+    pc, page, off = random_windows(model, 1, seed=0)
+    state = eng.state_from_history(pc, page, off)
+    with pytest.raises(ValueError, match="steps"):
+        eng.rollout(state, pc[:, -1], -1)
+    with pytest.raises(ValueError, match="steps"):
+        eng.rollout_window(eng.features(pc, page, off), pc[:, -1], -1)
+
+
+def test_rollout_does_not_mutate_state():
+    model = tiny_model()
+    eng = InferenceEngine(model)
+    pc, page, off = random_windows(model, 2, seed=5)
+    state = eng.state_from_history(pc, page, off)
+    snapshot = state.copy()
+    eng.rollout(state, pc[:, -1], 4)
+    np.testing.assert_array_equal(state.h, snapshot.h)
+    np.testing.assert_array_equal(state.c, snapshot.c)
+
+
+def test_oov_prediction_masks_remaining_rollout():
+    """A head rigged to always predict OOV yields an all-invalid rollout."""
+    model = tiny_model()
+    model.params["w_page"][:] = 0.0
+    model.params["b_page"][:] = 0.0
+    model.params["b_page"][OOV_ID] = 10.0
+    eng = InferenceEngine(model)
+    pc, page, off = random_windows(model, 2, seed=1)
+    feats = eng.features(pc, page, off)
+    _, _, valid = eng.rollout_window(feats, pc[:, -1], 3)
+    assert not valid.any()
+    state = eng.state_from_history(pc, page, off)
+    _, _, valid = eng.rollout(state, pc[:, -1], 3)
+    assert not valid.any()
+
+
+def test_predict_topk_top1_matches_predict():
+    model = tiny_model()
+    eng = InferenceEngine(model)
+    pc, page, off = random_windows(model, 4, seed=8)
+    state = eng.state_from_history(pc, page, off)
+    top_pages, top_offsets = eng.predict_topk(state, 3)
+    assert top_pages.shape == (4, 3) and top_offsets.shape == (4, 3)
+    pid, oid = eng.predict(state)
+    np.testing.assert_array_equal(top_pages[:, 0], pid)
+    np.testing.assert_array_equal(top_offsets[:, 0], oid)
+
+
+def test_lstm_state_copy_is_independent():
+    state = LSTMState(h=np.zeros((1, 4)), c=np.zeros((1, 4)))
+    clone = state.copy()
+    clone.h += 1.0
+    assert state.h.sum() == 0.0
+    assert state.batch == 1
+
+
+# ----------------------------------------------------------------------
+# the simulator hot path never builds a backprop cache
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def small_fit():
+    trace = page_cycle_trace(300)
+    dataset = build_dataset(trace, history=8)
+    model = HierarchicalModel(
+        ModelConfig(
+            pc_vocab_size=dataset.pc_vocab.size,
+            page_vocab_size=dataset.page_vocab.size,
+            embed_dim=8,
+            hidden_dim=16,
+            history=8,
+            seed=0,
+        )
+    )
+    return trace, model, dataset
+
+
+def test_prefetcher_never_calls_training_forward(small_fit, monkeypatch):
+    """Streaming and primed simulation run with ``forward`` disabled.
+
+    ``model.forward`` is the only entry point that allocates the
+    backprop cache, so poisoning it proves the whole simulator hot path
+    is cache-free.
+    """
+    trace, model, dataset = small_fit
+
+    def boom(*args, **kwargs):  # pragma: no cover - must never run
+        raise AssertionError("simulator hot path called model.forward")
+
+    monkeypatch.setattr(model, "forward", boom)
+    monkeypatch.setattr(model, "loss_and_grads", boom)
+
+    pf = NeuralPrefetcher(model, dataset.pc_vocab, dataset.page_vocab)
+    for access in trace[:20]:
+        pf.update(access)
+    assert isinstance(pf.prefetch(trace[19], 4), list)
+
+    result = simulate(
+        trace,
+        NeuralPrefetcher(model, dataset.pc_vocab, dataset.page_vocab),
+        SimConfig(degree=2, distance=4, latency=4),
+    )
+    assert result.accesses == len(trace)
+
+
+def test_streaming_and_primed_candidates_agree(small_fit):
+    """The primed batch transform preserves per-position predictions."""
+    trace, model, dataset = small_fit
+    lookahead = 6
+
+    primed = NeuralPrefetcher(model, dataset.pc_vocab, dataset.page_vocab)
+    primed.prime(trace, lookahead)
+    streaming = NeuralPrefetcher(model, dataset.pc_vocab, dataset.page_vocab)
+    for i, access in enumerate(trace[:120]):
+        primed.update(access)
+        streaming.update(access)
+        assert primed.prefetch(access, lookahead) == streaming.prefetch(
+            access, lookahead
+        ), f"candidate mismatch at position {i}"

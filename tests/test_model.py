@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from voyager.model import HierarchicalModel, ModelConfig
+from voyager.model import (
+    HierarchicalModel,
+    ModelConfig,
+    _sigmoid,
+    topk_from_logits,
+)
 
 
 def tiny_config(seed: int = 1) -> ModelConfig:
@@ -71,6 +76,62 @@ def test_num_parameters_counts_everything():
     assert model.num_parameters() == sum(
         v.size for v in model.params.values()
     )
+
+
+def test_sigmoid_is_stable_at_extreme_logits():
+    """Large-|x| inputs must neither overflow nor lose saturation."""
+    x = np.array([-1e4, -710.0, -1.5, 0.0, 1.5, 710.0, 1e4])
+    with np.errstate(over="raise", invalid="raise"):
+        out = _sigmoid(x)
+    assert np.isfinite(out).all()
+    assert (0.0 <= out).all() and (out <= 1.0).all()
+    assert out[0] == 0.0 or out[0] < 1e-300  # saturated, not NaN
+    assert out[-1] == 1.0
+
+
+def test_sigmoid_matches_naive_form_where_naive_is_safe():
+    """The split-sign form is the same function, bit-identical for x >= 0."""
+    x = np.linspace(-30.0, 30.0, 601)
+    naive = 1.0 / (1.0 + np.exp(-x))
+    stable = _sigmoid(x)
+    np.testing.assert_array_equal(stable[x >= 0], naive[x >= 0])
+    np.testing.assert_allclose(stable, naive, rtol=1e-15)
+
+
+def test_topk_from_logits_matches_full_sort():
+    rng = np.random.default_rng(11)
+    logits = rng.normal(size=(5, 20))
+    full = np.argsort(-logits, axis=-1)
+    for k in (1, 3, 20):
+        np.testing.assert_array_equal(
+            topk_from_logits(logits, k), full[:, :k]
+        )
+
+
+def test_topk_from_logits_rejects_bad_k():
+    logits = np.zeros((2, 4))
+    with pytest.raises(ValueError, match="k must be"):
+        topk_from_logits(logits, 0)
+    with pytest.raises(ValueError, match="k must be"):
+        topk_from_logits(logits, 5)
+
+
+def test_predict_topk_top1_matches_predict():
+    model = HierarchicalModel(tiny_config())
+    pc, page, off = tiny_batch(B=6)
+    pages, offsets = model.predict(pc, page, off)
+    top_pages, top_offsets = model.predict_topk(pc, page, off, 3)
+    assert top_pages.shape == (6, 3) and top_offsets.shape == (6, 3)
+    np.testing.assert_array_equal(top_pages[:, 0], pages)
+    np.testing.assert_array_equal(top_offsets[:, 0], offsets)
+
+
+def test_forward_nocache_matches_forward_state():
+    model = HierarchicalModel(tiny_config())
+    pc, page, off = tiny_batch(B=4)
+    _, _, cache = model.forward(pc, page, off)
+    h, _ = model.forward_nocache(pc, page, off)
+    np.testing.assert_array_equal(h, cache["h_final"])
 
 
 def test_gradients_match_numerical():

@@ -11,7 +11,7 @@ import pytest
 from voyager.baselines import NextLinePrefetcher, evaluate_baseline
 from voyager.eval import accuracy, evaluate
 from voyager.model import HierarchicalModel, ModelConfig
-from voyager.train import build_dataset, build_vocabs, train
+from voyager.train import batch_indices, build_dataset, build_vocabs, train
 
 
 def _fit(trace, steps=180, seed=0, history=8, hidden=32, embed=16):
@@ -102,6 +102,37 @@ class TestTraining:
         early = np.mean(result.losses[:20])
         late = np.mean(result.losses[-20:])
         assert late < early
+
+
+class TestBatchIndices:
+    def test_each_epoch_visits_every_example_once(self):
+        n, bs = 10, 5
+        batches = list(batch_indices(n, bs, 4, np.random.default_rng(0)))
+        assert all(len(b) == bs for b in batches)
+        # steps 0-1 are epoch one, steps 2-3 epoch two; each covers [0, n)
+        assert sorted(np.concatenate(batches[:2])) == list(range(n))
+        assert sorted(np.concatenate(batches[2:])) == list(range(n))
+
+    def test_deterministic_for_a_given_seed(self):
+        a = list(batch_indices(100, 32, 7, np.random.default_rng(3)))
+        b = list(batch_indices(100, 32, 7, np.random.default_rng(3)))
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_partial_tail_starts_fresh_permutation(self):
+        # n=7, bs=3: after two batches only one index remains, so the
+        # third batch must come from a fresh full permutation.
+        batches = list(batch_indices(7, 3, 3, np.random.default_rng(1)))
+        assert all(len(b) == 3 for b in batches)
+        assert len(set(np.concatenate(batches[:2]))) == 6
+
+    def test_batch_size_clamped_to_dataset(self):
+        batches = list(batch_indices(4, 32, 2, np.random.default_rng(0)))
+        assert all(sorted(b) == list(range(4)) for b in batches)
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            list(batch_indices(10, 0, 1, np.random.default_rng(0)))
 
 
 def test_accuracy_helper_validates_shapes():
