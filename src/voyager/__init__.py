@@ -25,6 +25,7 @@ from voyager.model import (
     save_checkpoint,
 )
 from voyager.sim import (
+    ArrayCache,
     CacheConfig,
     NeuralPrefetcher,
     SetAssociativeCache,
@@ -48,6 +49,7 @@ __version__ = "0.1.0"
 __all__ = [
     "BLOCK_BITS",
     "NUM_OFFSETS",
+    "ArrayCache",
     "CacheConfig",
     "HierarchicalModel",
     "InferenceEngine",

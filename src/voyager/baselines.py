@@ -11,12 +11,22 @@ Both baselines speak two protocols:
 - the simulation protocol of :mod:`voyager.sim` — ``update(access)``
   first, then ``prefetch(access, degree)`` returns up to ``degree``
   candidate block addresses to hand the issue queue.
+
+Both also implement ``offline_candidates(trace, degree, distance)``:
+table predictions are pure functions of the access stream, so the whole
+per-position candidate table can be produced with vectorised NumPy ops,
+which is what lets :func:`voyager.sim.simulate` take its kernel fast
+path for the baselines.  A row value of ``-1`` marks "no prediction at
+this slot" — the kernel skips negative candidates exactly as the
+streaming path skips them (or receives no candidates at all).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from voyager.traces import MemoryAccess
 
@@ -35,6 +45,20 @@ class NextLinePrefetcher:
 
     def update(self, access: MemoryAccess) -> None:  # stateless
         return None
+
+    def offline_candidates(
+        self, trace: Sequence[MemoryAccess], degree: int, distance: int
+    ) -> List[List[int]]:
+        """Vectorised per-position issue windows for the kernel path.
+
+        Row ``t`` equals the streaming path's
+        ``prefetch(trace[t], degree + distance)[distance:]``.
+        """
+        blocks = np.fromiter(
+            (a.block for a in trace), dtype=np.int64, count=len(trace)
+        )
+        ks = np.arange(distance + 1, distance + degree + 1, dtype=np.int64)
+        return (blocks[:, None] + ks[None, :]).tolist()
 
 
 @dataclass
@@ -84,6 +108,56 @@ class StridePrefetcher:
         entry.confirmed = stride == entry.stride and stride != 0
         entry.stride = stride
         entry.last_block = access.block
+
+    def offline_candidates(
+        self, trace: Sequence[MemoryAccess], degree: int, distance: int
+    ) -> Optional[List[List[int]]]:
+        """Vectorised per-position issue windows for the kernel path.
+
+        Replicates the update-then-prefetch protocol: row ``t`` is what
+        ``prefetch`` would return *after* ``update(trace[t])``, sliced
+        to the issue window — a PC's prediction is confirmed from its
+        third occurrence on when the last two deltas are equal and
+        nonzero.  Unconfirmed rows are filled with ``-1`` (kernel-
+        skipped), matching the streaming path's empty candidate list.
+
+        Returns ``None`` when the trace touches more PCs than the table
+        holds: then streaming-mode evictions can reset per-PC state and
+        the eviction-free vectorised recurrence would diverge, so the
+        simulator falls back to the streaming path.
+        """
+        n = len(trace)
+        pcs = np.fromiter((a.pc for a in trace), dtype=np.int64, count=n)
+        blocks = np.fromiter((a.block for a in trace), dtype=np.int64, count=n)
+        if np.unique(pcs).size > self.max_entries:
+            return None
+
+        # Group positions by PC (stable, so each group stays in trace
+        # order), then express the table recurrence as diffs within
+        # each group: delta[k] compares sorted neighbours k-1 and k.
+        order = np.argsort(pcs, kind="stable")
+        sp = pcs[order]
+        sb = blocks[order]
+        d = np.diff(sb)  # delta to previous sorted position
+        same = sp[1:] == sp[:-1]  # previous sorted position is same PC
+
+        stride_sorted = np.zeros(n, dtype=np.int64)
+        stride_sorted[1:][same] = d[same]
+        conf_sorted = np.zeros(n, dtype=bool)
+        if n >= 3:
+            conf_sorted[2:] = (
+                same[1:] & same[:-1] & (d[1:] == d[:-1]) & (d[1:] != 0)
+            )
+
+        stride = np.empty(n, dtype=np.int64)
+        stride[order] = stride_sorted
+        confirmed = np.empty(n, dtype=bool)
+        confirmed[order] = conf_sorted
+
+        ks = np.arange(distance + 1, distance + degree + 1, dtype=np.int64)
+        cands = blocks[:, None] + stride[:, None] * ks[None, :]
+        cands[~confirmed] = -1
+        return cands.tolist()
 
 
 @dataclass(frozen=True)

@@ -7,13 +7,26 @@ a schema-versioned JSON report to the repo root (or ``--out``).  The
 report is the cross-PR benchmark trajectory ROADMAP asks for: CI runs
 the smoke profile and archives the file as a build artifact.
 
-Each prefetcher entry carries three wall-clock fields: ``train_s``
-(model training, zero for the table baselines), ``sim_s`` (the
-trace-driven simulation itself) and ``elapsed_s`` (their sum, kept for
-cross-PR comparability).  ``sim_s`` is what the CI timing gate checks:
-``python -m voyager.bench --profile smoke --max-neural-sim-s <budget>``
-fails the build if the neural simulation regresses to the old
-O(history x degree) full-forward cost.
+The (workload x prefetcher) grid is embarrassingly parallel — each
+cell derives its own seed from the top-level seed (so no RNG state is
+shared across processes) and every prefetcher of a workload regenerates
+the identical trace from that derived seed.  ``run_bench(..., jobs=N)``
+fans the cells over a :class:`~concurrent.futures.ProcessPoolExecutor`
+(the ``--jobs`` CLI flag accepts ``auto`` for the CPU count); the
+resulting report is bit-identical to the serial one in every non-timing
+field, which the equivalence tests pin.
+
+Each prefetcher entry carries three timing fields: ``train_s`` (model
+training, zero for the table baselines), ``sim_s`` (the trace-driven
+simulation itself) and ``cpu_s`` (their sum — per-cell CPU cost, which
+unlike wall-clock is comparable between serial and parallel runs).
+The top-level ``elapsed_s`` stays wall-clock and ``cpu_s`` sums the
+cells, so the parallel speedup is ``cpu_s / elapsed_s``.  Timings are
+kept at full precision in the in-memory report and rounded only when
+:func:`write_bench` serialises to JSON, so the CI timing gate
+(``--max-neural-sim-s``) compares unrounded values.  With
+``--profile-sim`` each cell additionally records the simulator's
+per-phase timings (encode / candidates / cache loop).
 
 Everything is seeded, so two runs with the same profile produce
 identical metric values (wall-clock fields aside).
@@ -23,11 +36,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
+import zlib
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from voyager import synthetic
 from voyager.labeling import LabelConfig
@@ -36,7 +52,9 @@ from voyager.sim import NeuralPrefetcher, SimConfig, make_prefetcher, simulate
 from voyager.train import build_dataset, train
 
 #: Bumped whenever the report layout changes incompatibly.
-BENCH_SCHEMA_VERSION = 1
+#: v2: per-cell ``elapsed_s`` replaced by ``cpu_s``; top-level gains
+#: ``cpu_s`` and ``jobs``; optional per-cell ``phases``.
+BENCH_SCHEMA_VERSION = 2
 
 #: Canonical report filename at the repo root.
 BENCH_FILENAME = "BENCH_voyager.json"
@@ -101,44 +119,104 @@ def _train_neural(
     return NeuralPrefetcher(model, dataset.pc_vocab, dataset.page_vocab)
 
 
-def bench_workload(
-    workload: str, profile: BenchProfile, seed: int = 0
+def derive_cell_seed(seed: int, workload: str) -> int:
+    """Deterministic per-workload seed for a bench cell.
+
+    Every cell computes its own seed from the top-level seed — no RNG
+    state crosses process boundaries, so serial and parallel sweeps are
+    trivially identical.  Keyed by workload only (not prefetcher): all
+    prefetchers of a workload must replay the *same* trace for the
+    coverage comparison to mean anything.
+    """
+    return (seed + zlib.crc32(workload.encode("utf-8"))) % (2**31)
+
+
+def bench_cell(
+    workload: str,
+    kind: str,
+    profile: BenchProfile,
+    seed: int = 0,
+    profile_sim: bool = False,
 ) -> Dict[str, Any]:
-    """Simulate all of :data:`PREFETCHERS` on one synthetic workload."""
-    trace = synthetic.generate(workload, profile.trace_length, seed=seed)
-    results: Dict[str, Any] = {}
-    for kind in PREFETCHERS:
-        start = time.perf_counter()
-        if kind == "neural":
-            prefetcher = _train_neural(trace, profile, seed)
-        else:
-            prefetcher = make_prefetcher(kind)
-        trained = time.perf_counter()
-        sim = simulate(trace, prefetcher, profile.sim)
-        done = time.perf_counter()
-        entry = sim.as_dict()
-        del entry["prefetcher"]  # redundant with the dict key
-        entry["train_s"] = round(trained - start, 3)
-        entry["sim_s"] = round(done - trained, 3)
-        entry["elapsed_s"] = round(done - start, 3)
-        results[kind] = entry
-    return results
+    """Run one (workload x prefetcher) cell; picklable for process pools.
+
+    Regenerates the workload trace from the cell's derived seed (cheap
+    relative to training/simulation, and what makes cells independent),
+    trains the neural model when ``kind == 'neural'``, simulates, and
+    returns the metrics entry with full-precision timing fields.
+    """
+    cell_seed = derive_cell_seed(seed, workload)
+    trace = synthetic.generate(workload, profile.trace_length, seed=cell_seed)
+    start = time.perf_counter()
+    if kind == "neural":
+        prefetcher = _train_neural(trace, profile, cell_seed)
+    else:
+        prefetcher = make_prefetcher(kind)
+    trained = time.perf_counter()
+    sim = simulate(trace, prefetcher, profile.sim, profile=profile_sim)
+    done = time.perf_counter()
+    entry = sim.as_dict()
+    del entry["prefetcher"]  # redundant with the dict key
+    entry["train_s"] = trained - start
+    entry["sim_s"] = done - trained
+    entry["cpu_s"] = entry["train_s"] + entry["sim_s"]
+    return entry
+
+
+def resolve_jobs(jobs: Union[int, str]) -> int:
+    """Normalise a ``--jobs`` value: ``'auto'`` means the CPU count."""
+    if jobs == "auto":
+        return os.cpu_count() or 1
+    jobs = int(jobs)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
 
 
 def run_bench(
-    profile: BenchProfile = SMOKE_PROFILE, seed: int = 0
+    profile: BenchProfile = SMOKE_PROFILE,
+    seed: int = 0,
+    jobs: Union[int, str] = 1,
+    profile_sim: bool = False,
 ) -> Dict[str, Any]:
-    """Run the full sweep and return the report dict (not yet written)."""
+    """Run the full sweep and return the report dict (not yet written).
+
+    ``jobs > 1`` fans the (workload x prefetcher) cells over a process
+    pool; every cell is seeded independently (:func:`derive_cell_seed`),
+    so the report matches the serial one in every non-timing field.
+    Timing fields stay full-precision here — :func:`write_bench` rounds.
+    """
+    jobs = resolve_jobs(jobs)
     started = time.perf_counter()
-    workloads = {
-        workload: bench_workload(workload, profile, seed=seed)
+    cells: List[Tuple[str, str]] = [
+        (workload, kind)
         for workload in profile.workloads
-    }
+        for kind in PREFETCHERS
+    ]
+    if jobs > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
+            futures = [
+                pool.submit(bench_cell, workload, kind, profile, seed, profile_sim)
+                for workload, kind in cells
+            ]
+            entries = [f.result() for f in futures]
+    else:
+        entries = [
+            bench_cell(workload, kind, profile, seed, profile_sim)
+            for workload, kind in cells
+        ]
+    workloads: Dict[str, Dict[str, Any]] = {}
+    for (workload, kind), entry in zip(cells, entries):
+        workloads.setdefault(workload, {})[kind] = entry
+    cpu_s = 0.0
+    for entry in entries:  # exact sum in deterministic cell order
+        cpu_s += entry["cpu_s"]
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
         "benchmark": "voyager_prefetch_sim",
         "profile": profile.name,
         "seed": seed,
+        "jobs": jobs,
         "config": {
             "trace_length": profile.trace_length,
             "train_steps": profile.train_steps,
@@ -154,17 +232,82 @@ def run_bench(
         },
         "prefetchers": list(PREFETCHERS),
         "workloads": workloads,
-        "elapsed_s": round(time.perf_counter() - started, 3),
+        "cpu_s": cpu_s,
+        "elapsed_s": time.perf_counter() - started,
     }
+
+
+#: Per-cell keys that describe *when/how fast*, not *what happened*.
+CELL_TIMING_FIELDS = ("train_s", "sim_s", "cpu_s", "phases")
+
+#: Top-level keys that vary between runs of identical sweeps.
+REPORT_TIMING_FIELDS = ("elapsed_s", "cpu_s", "jobs")
+
+
+def strip_timing_fields(report: Dict[str, Any]) -> Dict[str, Any]:
+    """Deep-copy ``report`` minus every timing/execution field.
+
+    What remains must be bit-identical between ``jobs=1`` and
+    ``jobs=N`` runs of the same profile+seed — the parallel-equivalence
+    contract the tests enforce.
+    """
+    out = {
+        k: v for k, v in report.items() if k not in REPORT_TIMING_FIELDS
+    }
+    out["workloads"] = {
+        workload: {
+            kind: {
+                k: v
+                for k, v in entry.items()
+                if k not in CELL_TIMING_FIELDS
+            }
+            for kind, entry in entries.items()
+        }
+        for workload, entries in report.get("workloads", {}).items()
+    }
+    return out
+
+
+def _rounded_for_json(report: Dict[str, Any]) -> Dict[str, Any]:
+    """Copy of ``report`` with timing fields rounded for stable diffs.
+
+    Rounding happens *only* here, at serialisation time — the in-memory
+    report keeps full precision so gates like :func:`check_sim_budget`
+    never compare quantised values.
+    """
+    out = dict(report)
+    for key in ("elapsed_s", "cpu_s"):
+        if isinstance(out.get(key), float):
+            out[key] = round(out[key], 3)
+    workloads = {}
+    for workload, entries in report.get("workloads", {}).items():
+        workloads[workload] = {}
+        for kind, entry in entries.items():
+            entry = dict(entry)
+            for key in ("train_s", "sim_s", "cpu_s"):
+                if isinstance(entry.get(key), float):
+                    entry[key] = round(entry[key], 3)
+            if isinstance(entry.get("phases"), dict):
+                entry["phases"] = {
+                    k: round(v, 6) for k, v in entry["phases"].items()
+                }
+            workloads[workload][kind] = entry
+    out["workloads"] = workloads
+    return out
 
 
 def write_bench(
     report: Dict[str, Any], path: Union[str, Path] = BENCH_FILENAME
 ) -> Path:
-    """Write a report as stable, human-diffable JSON.  Returns the path."""
+    """Write a report as stable, human-diffable JSON.  Returns the path.
+
+    Timing fields are rounded (3 decimals; simulator phases 6) in the
+    serialised copy only; ``report`` itself is left untouched.
+    """
     path = Path(path)
     path.write_text(
-        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        json.dumps(_rounded_for_json(report), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
     )
     return path
 
@@ -204,11 +347,16 @@ def validate_report(report: Dict[str, Any]) -> List[str]:
                     problems.append(
                         f"{workload}/{kind}: coverage={value} out of [-1,1]"
                     )
-            for field_name in ("train_s", "sim_s", "elapsed_s"):
+            for field_name in ("train_s", "sim_s", "cpu_s"):
                 if not isinstance(entry.get(field_name), (int, float)):
                     problems.append(
                         f"{workload}/{kind}: missing timing {field_name}"
                     )
+    for field_name in ("elapsed_s", "cpu_s"):
+        if not isinstance(report.get(field_name), (int, float)):
+            problems.append(f"missing top-level {field_name}")
+    if not isinstance(report.get("jobs"), int):
+        problems.append("missing top-level jobs")
     return problems
 
 
@@ -259,6 +407,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--out", default=BENCH_FILENAME)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--jobs",
+        default="1",
+        help="parallel bench cells: an integer or 'auto' (cpu count)",
+    )
+    parser.add_argument(
+        "--profile-sim",
+        action="store_true",
+        help="record per-phase simulator timings in each cell",
+    )
+    parser.add_argument(
         "--max-neural-sim-s",
         type=float,
         default=None,
@@ -266,7 +424,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    report = run_bench(_profile_by_name(args.profile), seed=args.seed)
+    report = run_bench(
+        _profile_by_name(args.profile),
+        seed=args.seed,
+        jobs=args.jobs,
+        profile_sim=args.profile_sim,
+    )
     problems = validate_report(report)
     if args.max_neural_sim_s is not None:
         problems += check_sim_budget(report, args.max_neural_sim_s)
@@ -280,7 +443,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"train_s={entry['train_s']:.3f} "
                 f"sim_s={entry['sim_s']:.3f}"
             )
-    print(f"wrote {path} (profile={report['profile']}, {report['elapsed_s']}s)")
+    print(
+        f"wrote {path} (profile={report['profile']}, jobs={report['jobs']}, "
+        f"cpu={report['cpu_s']:.3f}s, wall={report['elapsed_s']:.3f}s)"
+    )
     if problems:
         for problem in problems:
             print(f"error: {problem}", file=sys.stderr)

@@ -147,6 +147,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--out", default=BENCH_FILENAME)
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument(
+        "--jobs",
+        default="1",
+        help="parallel bench cells: an integer or 'auto' (cpu count)",
+    )
+    bench.add_argument(
+        "--profile-sim",
+        action="store_true",
+        help="record per-phase simulator timings in each cell",
+    )
+    bench.add_argument(
         "--max-neural-sim-s",
         type=float,
         default=None,
@@ -271,7 +281,9 @@ def run_simulate(args: argparse.Namespace) -> int:
 
 def run_bench_cmd(args: argparse.Namespace) -> int:
     profile = SMOKE_PROFILE if args.smoke or args.profile == "smoke" else FULL_PROFILE
-    report = run_bench(profile, seed=args.seed)
+    report = run_bench(
+        profile, seed=args.seed, jobs=args.jobs, profile_sim=args.profile_sim
+    )
     problems = validate_report(report)
     if args.max_neural_sim_s is not None:
         problems += check_sim_budget(report, args.max_neural_sim_s)
@@ -290,7 +302,10 @@ def run_bench_cmd(args: argparse.Namespace) -> int:
                 f"miss_rate={entry['miss_rate']:.4f} "
                 f"sim_s={entry['sim_s']:.3f}"
             )
-    print(f"wrote {path} (profile={profile.name}, {report['elapsed_s']}s)")
+    print(
+        f"wrote {path} (profile={profile.name}, jobs={report['jobs']}, "
+        f"cpu={report['cpu_s']:.3f}s, wall={report['elapsed_s']:.3f}s)"
+    )
     return 0
 
 

@@ -43,8 +43,10 @@ from voyager.model import (
     HierarchicalModel,
     head_logits,
     lstm_step,
+    project_features,
     softmax,
     state_from_features,
+    state_from_projected,
     step_features,
     topk_from_logits,
     window_features,
@@ -142,6 +144,20 @@ class InferenceEngine:
     def state_from_features(self, x: np.ndarray) -> LSTMState:
         """Run the LSTM over precomputed ``(B, H, 3d)`` window features."""
         h, c = state_from_features(self.params, x)
+        return LSTMState(h=h, c=c)
+
+    def project_features(self, x: np.ndarray) -> np.ndarray:
+        """Input projections ``x @ w_x``: ``(B, H, 3d)`` -> ``(B, H, 4h)``.
+
+        Like the features themselves, projections carry no recurrence:
+        compute them once per column and reuse them across every LSTM
+        cell evaluation of every window that contains the column.
+        """
+        return project_features(self.params, x)
+
+    def state_from_projected(self, ax: np.ndarray) -> LSTMState:
+        """Run the LSTM over precomputed ``(B, H, 4h)`` input projections."""
+        h, c = state_from_projected(self.params, ax)
         return LSTMState(h=h, c=c)
 
     def state_from_history(
@@ -251,13 +267,21 @@ class InferenceEngine:
         model saw every window during training.  Because window
         *features* have no recurrence they are computed once (here,
         gathered; new pseudo-accesses embed once via
-        :meth:`feature_step`), so each step costs ``H`` batched LSTM
-        cell evaluations and nothing else — no embedding or attention
-        recompute for the ``H - 1`` retained positions, no backprop
-        cache, no softmax.
+        :meth:`feature_step`), and because the LSTM's input projection
+        ``x @ w_x`` depends only on the feature, that projection too is
+        computed once per column and **reused across every cell
+        evaluation** of every slid window that contains the column
+        (``H + steps - 1`` projections instead of ``H * steps``).  Each
+        step therefore costs ``H`` batched recurrent ``h @ w_h``
+        matmuls plus gate nonlinearities and nothing else — no
+        embedding or attention recompute for the ``H - 1`` retained
+        positions, no input projection recompute, no backprop cache,
+        no softmax.
 
         Bit-exactness: the emitted predictions equal forwarding each
-        slid pseudo-window from scratch at the same batch width.
+        slid pseudo-window from scratch at the same batch width (the
+        projection hoist preserves the cell's summation order; see
+        :func:`voyager.model.lstm_step_projected`).
 
         Returns ``(pages, offsets, valid)`` with the same shape and OOV
         semantics as :meth:`rollout`.  ``feats`` is not mutated.
@@ -270,14 +294,17 @@ class InferenceEngine:
         valid = np.zeros((B, steps), dtype=bool)
         if steps == 0:
             return pages, offsets, valid
-        # One flat buffer holds the real window plus every pseudo step;
-        # each iteration's window is a strided view into it, so sliding
-        # costs a single (B, 3d) write instead of a (B, H, 3d) copy.
-        buf = np.empty((B, H + steps - 1, feats.shape[2]), dtype=feats.dtype)
-        buf[:, :H] = feats
+        # One flat buffer holds the *projections* of the real window
+        # plus every pseudo step; each iteration's window is a strided
+        # view into it, so sliding costs a single projected (B, 4h)
+        # write instead of re-projecting the whole (B, H, 3d) window.
+        proj = self.project_features(feats)
+        buf = np.empty((B, H + steps - 1, proj.shape[2]), dtype=proj.dtype)
+        buf[:, :H] = proj
+        w_x = self.params["w_x"]
         alive = np.ones(B, dtype=bool)
         for j in range(steps):
-            state = self.state_from_features(buf[:, j : j + H])
+            state = self.state_from_projected(buf[:, j : j + H])
             pid, oid = self.predict(state)
             alive = alive & (pid != OOV_ID)
             if not alive.any():
@@ -286,7 +313,7 @@ class InferenceEngine:
             offsets[:, j] = oid
             valid[:, j] = alive
             if j + 1 < steps:
-                buf[:, H + j] = self.feature_step(pc_ids, pid, oid)
+                buf[:, H + j] = self.feature_step(pc_ids, pid, oid) @ w_x
         return pages, offsets, valid
 
 

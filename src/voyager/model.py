@@ -71,10 +71,42 @@ def _sigmoid(x: np.ndarray) -> np.ndarray:
     bit-identical to the naive one wherever the latter is safe
     (``x >= 0``).  ``np.where`` over two fully vectorised branches beats
     boolean-mask scatter by ~3x on the LSTM gate slices that dominate
-    the inference hot path.
+    the inference hot path; the explicit ``out=`` chain below performs
+    the same elementwise operations in the same order (so results stay
+    bit-identical) while reusing one scratch buffer instead of
+    allocating four temporaries.
     """
-    z = np.exp(-np.abs(x))
-    return np.where(x >= 0, 1.0, z) / (1.0 + z)
+    z = np.abs(x)
+    np.negative(z, out=z)
+    np.exp(z, out=z)  # z = exp(-|x|), contiguous scratch
+    out = np.where(x >= 0, 1.0, z)
+    z += 1.0
+    out /= z
+    return out
+
+
+def _lstm_activate(
+    a: np.ndarray,  # (B, 4h) pre-activation
+    c_prev: np.ndarray,  # (B, h)
+    h_dim: int,
+) -> Tuple[np.ndarray, ...]:
+    """Gate nonlinearities shared by every LSTM entry point.
+
+    Returns ``(h_new, c_new, i, f, g, o, tanh_c)``.  Factored out so
+    the projected fast path (:func:`lstm_step_projected`) is bit-bound
+    to the canonical :func:`lstm_step` by construction.
+    """
+    # The input and forget gates are adjacent columns, so one sigmoid
+    # call covers both (elementwise, so batching changes no bits).
+    i_f = _sigmoid(a[:, : 2 * h_dim])
+    i_g = i_f[:, :h_dim]
+    f_g = i_f[:, h_dim:]
+    g_g = np.tanh(a[:, 2 * h_dim : 3 * h_dim])
+    o_g = _sigmoid(a[:, 3 * h_dim :])
+    c_new = f_g * c_prev + i_g * g_g
+    tanh_c = np.tanh(c_new)
+    h_new = o_g * tanh_c
+    return h_new, c_new, i_g, f_g, g_g, o_g, tanh_c
 
 
 def lstm_step(
@@ -99,16 +131,9 @@ def lstm_step(
     a = x_t @ params["w_x"]
     a += h_prev @ params["w_h"]
     a += params["b_lstm"]
-    # The input and forget gates are adjacent columns, so one sigmoid
-    # call covers both (elementwise, so batching changes no bits).
-    i_f = _sigmoid(a[:, : 2 * h_dim])
-    i_g = i_f[:, :h_dim]
-    f_g = i_f[:, h_dim:]
-    g_g = np.tanh(a[:, 2 * h_dim : 3 * h_dim])
-    o_g = _sigmoid(a[:, 3 * h_dim :])
-    c_new = f_g * c_prev + i_g * g_g
-    tanh_c = np.tanh(c_new)
-    h_new = o_g * tanh_c
+    h_new, c_new, i_g, f_g, g_g, o_g, tanh_c = _lstm_activate(
+        a, c_prev, h_dim
+    )
     if not with_cache:
         return h_new, c_new, None
     return h_new, c_new, {
@@ -121,6 +146,64 @@ def lstm_step(
         "tanh_c": tanh_c,
         "x": x_t,
     }
+
+
+def lstm_step_projected(
+    params: Dict[str, np.ndarray],
+    ax_t: np.ndarray,  # (B, 4h) precomputed x_t @ w_x
+    h_prev: np.ndarray,  # (B, h)
+    c_prev: np.ndarray,  # (B, h)
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Cache-free cell step over a precomputed input projection.
+
+    The input projection ``x_t @ w_x`` depends only on the features, so
+    a rollout that replays overlapping windows can compute it once per
+    feature column and reuse it across every LSTM cell evaluation that
+    touches the column (see :meth:`voyager.infer.InferenceEngine.rollout_window`).
+    Bit-exactness with :func:`lstm_step` holds because the summation
+    order is preserved: ``(x @ w_x + h @ w_h) + b`` either way.
+    """
+    a = ax_t + h_prev @ params["w_h"]
+    a += params["b_lstm"]
+    h_new, c_new, *_ = _lstm_activate(a, c_prev, h_prev.shape[-1])
+    return h_new, c_new
+
+
+def project_features(
+    params: Dict[str, np.ndarray],
+    x: np.ndarray,  # (B, H, 3d)
+) -> np.ndarray:
+    """Input projections ``x[:, t] @ w_x`` for every window column.
+
+    Projected column by column so each matmul has the exact shape
+    :func:`lstm_step` would use — keeping the result bit-identical to
+    projecting inside the cell step regardless of BLAS blocking.
+    """
+    B, H = x.shape[0], x.shape[1]
+    w_x = params["w_x"]
+    ax = np.empty((B, H, w_x.shape[1]), dtype=x.dtype)
+    for t in range(H):
+        ax[:, t, :] = x[:, t, :] @ w_x
+    return ax
+
+
+def state_from_projected(
+    params: Dict[str, np.ndarray],
+    ax: np.ndarray,  # (B, H, 4h) precomputed input projections
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Run the LSTM over precomputed input projections from a zero state.
+
+    Bit-identical to :func:`state_from_features` on the unprojected
+    features (see :func:`lstm_step_projected`), but only pays the
+    recurrent ``h @ w_h`` matmul per step.
+    """
+    B = ax.shape[0]
+    h_dim = params["w_h"].shape[0]
+    h_t = np.zeros((B, h_dim), dtype=params["w_h"].dtype)
+    c_t = np.zeros((B, h_dim), dtype=params["w_h"].dtype)
+    for t in range(ax.shape[1]):
+        h_t, c_t = lstm_step_projected(params, ax[:, t, :], h_t, c_t)
+    return h_t, c_t
 
 
 def step_features(

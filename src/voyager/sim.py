@@ -34,10 +34,26 @@ Accounting rules (documented here because they define the metrics):
 - Candidates already resident or already in flight are filtered before
   issue and never count as issued.  When the in-flight queue is full,
   further candidates are dropped (counted in ``dropped_prefetches``).
+
+Two execution paths share these semantics bit for bit:
+
+- the *streaming* path replays :class:`~voyager.traces.MemoryAccess`
+  objects through :class:`SetAssociativeCache` and calls
+  ``update``/``prefetch`` per access — the reference implementation and
+  the only option for prefetchers whose predictions depend on cache
+  state;
+- the *kernel* path (default whenever the prefetcher supports it)
+  precomputes the trace's block-id array and the full per-position
+  candidate table offline (vectorised for the table baselines, batched
+  through the inference engine for the neural model), then drives an
+  :class:`ArrayCache`-backed cache/issue-queue loop on plain ints.
+  ``simulate(..., use_kernel=False)`` forces the streaming path;
+  the equivalence tests pin identical counters from both.
 """
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Protocol, Sequence, Tuple
@@ -46,7 +62,7 @@ import numpy as np
 
 from voyager.infer import InferenceEngine
 from voyager.model import HierarchicalModel
-from voyager.traces import NUM_OFFSETS, OFFSET_BITS, MemoryAccess
+from voyager.traces import BLOCK_BITS, NUM_OFFSETS, OFFSET_BITS, MemoryAccess
 from voyager.vocab import Vocab
 
 
@@ -146,6 +162,112 @@ class SetAssociativeCache:
         return out
 
 
+class ArrayCache:
+    """Array-backed set-associative LRU cache: the kernel counterpart.
+
+    Canonical state lives in dense NumPy arrays — a ``(num_sets, ways)``
+    int64 block plane (``-1`` marks an empty way), a monotonic LRU stamp
+    plane, and boolean ``prefetched``/``demanded`` flag planes — so
+    victim selection is an ``argmin`` over a stamp row and a fill is a
+    handful of scalar array writes.  A block -> way dict *indexes* the
+    arrays to make residency probes O(1); it never holds state of its
+    own.
+
+    Replacement semantics are exactly those of
+    :class:`SetAssociativeCache`: ``lookup`` and ``fill`` promote the
+    touched block to MRU (a fresh stamp), ``contains`` never touches LRU
+    state, and the eviction victim is the smallest stamp in the set —
+    empty ways carry stamp ``-1`` so they are always consumed before any
+    resident line is evicted.  Stamps are unique (one global monotonic
+    clock per cache), so victim choice is deterministic and the
+    hypothesis property suite pins this class against the
+    :class:`~collections.OrderedDict` reference model op for op.
+    """
+
+    def __init__(self, config: Optional[CacheConfig] = None):
+        self.config = config or CacheConfig()
+        shape = (self.config.num_sets, self.config.ways)
+        self.blocks = np.full(shape, -1, dtype=np.int64)
+        self.stamps = np.full(shape, -1, dtype=np.int64)
+        self.prefetched = np.zeros(shape, dtype=bool)
+        self.demanded = np.zeros(shape, dtype=bool)
+        self._clock = 0
+        self._way: Dict[int, int] = {}  # resident block -> way index
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._way
+
+    def contains(self, block: int) -> bool:
+        """Residency probe without touching LRU state."""
+        return block in self._way
+
+    def lookup(self, block: int) -> Optional[Tuple[bool, bool]]:
+        """Demand lookup: ``(prefetched, demanded)`` flags or ``None``.
+
+        A hit is promoted to MRU; the returned flags are the line's
+        state *before* any demand marking (callers score timeliness from
+        them, then call :meth:`set_demanded`).
+        """
+        way = self._way.get(block)
+        if way is None:
+            return None
+        s = block % self.config.num_sets
+        self._clock += 1
+        self.stamps[s, way] = self._clock
+        return bool(self.prefetched[s, way]), bool(self.demanded[s, way])
+
+    def set_demanded(self, block: int) -> None:
+        """Mark a resident block as demand-touched (no LRU effect)."""
+        way = self._way[block]
+        self.demanded[block % self.config.num_sets, way] = True
+
+    def fill(
+        self, block: int, prefetched: bool = False
+    ) -> Optional[Tuple[int, bool, bool]]:
+        """Insert ``block`` as MRU, evicting the LRU way if the set is full.
+
+        Returns the evicted ``(block, prefetched, demanded)`` triple or
+        ``None``.  Filling a resident block just promotes it.
+        """
+        s = block % self.config.num_sets
+        self._clock += 1
+        way = self._way.get(block)
+        if way is not None:
+            self.stamps[s, way] = self._clock
+            return None
+        row = self.stamps[s]
+        way = int(row.argmin())  # empty ways stamp -1: consumed first
+        old = int(self.blocks[s, way])
+        evicted = None
+        if old >= 0:
+            evicted = (
+                old,
+                bool(self.prefetched[s, way]),
+                bool(self.demanded[s, way]),
+            )
+            del self._way[old]
+        self.blocks[s, way] = block
+        self.stamps[s, way] = self._clock
+        self.prefetched[s, way] = prefetched
+        self.demanded[s, way] = not prefetched
+        self._way[block] = way
+        return evicted
+
+    def resident_blocks(self) -> List[int]:
+        """All resident blocks, set by set, LRU->MRU (stamp order).
+
+        Matches :meth:`SetAssociativeCache.resident_blocks` exactly,
+        which is what lets the property tests compare full LRU ordering
+        and not just residency membership.
+        """
+        out: List[int] = []
+        for s in range(self.config.num_sets):
+            for way in np.argsort(self.stamps[s], kind="stable"):
+                if self.blocks[s, way] >= 0:
+                    out.append(int(self.blocks[s, way]))
+        return out
+
+
 # ----------------------------------------------------------------------
 # simulation
 # ----------------------------------------------------------------------
@@ -195,6 +317,10 @@ class SimResult:
     late_prefetches: int  # correct but still in flight at demand time
     dropped_prefetches: int  # queue full at issue time
     evicted_unused_prefetches: int  # cache pollution
+    #: per-phase wall-clock seconds (``simulate(..., profile=True)`` only):
+    #: ``encode_s`` (trace -> block-id array), ``candidates_s`` (offline
+    #: candidate generation / priming), ``cache_loop_s`` (replay loop).
+    phases: Optional[Dict[str, float]] = None
 
     @property
     def miss_rate(self) -> float:
@@ -230,7 +356,7 @@ class SimResult:
         return self.timely_prefetches / self.useful_prefetches
 
     def as_dict(self) -> Dict[str, float]:
-        return {
+        out = {
             "prefetcher": self.prefetcher,
             "accesses": self.accesses,
             "misses": self.misses,
@@ -246,12 +372,18 @@ class SimResult:
             "coverage": self.coverage,
             "timeliness": self.timeliness,
         }
+        if self.phases is not None:
+            out["phases"] = dict(self.phases)
+        return out
 
 
 def simulate(
     trace: Sequence[MemoryAccess],
     prefetcher: Optional[Prefetcher],
     config: Optional[SimConfig] = None,
+    *,
+    use_kernel: Optional[bool] = None,
+    profile: bool = False,
 ) -> SimResult:
     """Replay ``trace`` through the cache with ``prefetcher`` driving fills.
 
@@ -259,8 +391,51 @@ def simulate(
     cache, in which case ``misses == baseline_misses`` exactly — the
     degree-0 invariant the tests pin.  The no-prefetch baseline cache
     is replayed in the same pass, so one call yields both miss rates.
+
+    ``use_kernel`` selects the execution path: ``None`` (default) takes
+    the kernel fast path whenever the prefetcher supports offline
+    candidate generation (falling back to streaming otherwise),
+    ``False`` forces the streaming reference path, ``True`` requires
+    the kernel and raises :class:`ValueError` if the prefetcher cannot
+    provide offline candidates for this trace.  Both paths produce
+    bit-identical counters.  ``profile=True`` attaches per-phase
+    wall-clock timings to :attr:`SimResult.phases`.
     """
     config = config or SimConfig()
+    phases: Optional[Dict[str, float]] = {} if profile else None
+
+    candidates: Optional[List[List[int]]] = None
+    kernel_ok = prefetcher is None or config.degree == 0
+    if not kernel_ok and use_kernel is not False:
+        offline = getattr(prefetcher, "offline_candidates", None)
+        if offline is not None:
+            t0 = time.perf_counter()
+            candidates = offline(trace, config.degree, config.distance)
+            if phases is not None:
+                phases["candidates_s"] = time.perf_counter() - t0
+            kernel_ok = candidates is not None
+
+    if use_kernel is True and not kernel_ok:
+        raise ValueError(
+            "use_kernel=True but the prefetcher cannot provide offline "
+            "candidates for this trace (no offline_candidates hook, or "
+            "it declined); use use_kernel=None to allow the streaming "
+            "fallback"
+        )
+    if use_kernel is False or not kernel_ok:
+        return _simulate_streaming(trace, prefetcher, config, phases)
+    return _run_kernel(trace, prefetcher, config, candidates, phases)
+
+
+def _simulate_streaming(
+    trace: Sequence[MemoryAccess],
+    prefetcher: Optional[Prefetcher],
+    config: SimConfig,
+    phases: Optional[Dict[str, float]],
+) -> SimResult:
+    """Reference path: per-access ``update``/``prefetch`` calls against
+    :class:`SetAssociativeCache` — the only option for prefetchers whose
+    predictions depend on cache state."""
     cache = SetAssociativeCache(config.cache)
     baseline_cache = SetAssociativeCache(config.cache)
 
@@ -271,7 +446,12 @@ def simulate(
     if prefetcher is not None and config.degree > 0:
         prime = getattr(prefetcher, "prime", None)
         if prime is not None:
+            t0 = time.perf_counter()
             prime(trace, config.degree + config.distance)
+            if phases is not None:
+                phases["candidates_s"] = (
+                    phases.get("candidates_s", 0.0) + time.perf_counter() - t0
+                )
 
     in_flight: "OrderedDict[int, int]" = OrderedDict()  # block -> arrival time
     arrivals: deque = deque()  # (arrival_time, block) in issue order
@@ -284,6 +464,7 @@ def simulate(
     dropped = 0
     evicted_unused = 0
 
+    t0 = time.perf_counter()
     for t, access in enumerate(trace):
         block = access.block
 
@@ -331,6 +512,8 @@ def simulate(
                 in_flight[cand] = t + config.latency
                 arrivals.append((t + config.latency, cand))
                 issued += 1
+    if phases is not None:
+        phases["cache_loop_s"] = time.perf_counter() - t0
 
     # Prefetches still unused (in cache) or in flight at trace end stay
     # unscored: they count in `issued`, lowering accuracy, which matches
@@ -345,6 +528,113 @@ def simulate(
         late_prefetches=late,
         dropped_prefetches=dropped,
         evicted_unused_prefetches=evicted_unused,
+        phases=phases,
+    )
+
+
+def _run_kernel(
+    trace: Sequence[MemoryAccess],
+    prefetcher: Optional[Prefetcher],
+    config: SimConfig,
+    candidates: Optional[List[List[int]]],
+    phases: Optional[Dict[str, float]],
+) -> SimResult:
+    """Kernel fast path: precomputed block ids + offline candidates
+    drive an :class:`ArrayCache` replay loop on plain ints.
+
+    ``candidates[t]`` is the already-sliced issue window for access
+    ``t`` — exactly what the streaming path's
+    ``prefetch(access, degree + distance)[distance:]`` yields — so the
+    loop below mirrors the streaming accounting line for line and the
+    equivalence tests pin identical counters.
+    """
+    t0 = time.perf_counter()
+    n = len(trace)
+    blocks = (
+        np.fromiter((a.address for a in trace), dtype=np.int64, count=n)
+        >> BLOCK_BITS
+    ).tolist()
+    if phases is not None:
+        phases["encode_s"] = time.perf_counter() - t0
+
+    cache = ArrayCache(config.cache)
+    baseline_cache = ArrayCache(config.cache)
+
+    in_flight: "OrderedDict[int, int]" = OrderedDict()  # block -> arrival time
+    arrivals: deque = deque()  # (arrival_time, block) in issue order
+
+    misses = 0
+    baseline_misses = 0
+    issued = 0
+    timely = 0
+    late = 0
+    dropped = 0
+    evicted_unused = 0
+
+    do_prefetch = (
+        prefetcher is not None and config.degree > 0 and candidates is not None
+    )
+    latency = config.latency
+    capacity = config.queue_capacity
+
+    t0 = time.perf_counter()
+    for t, block in enumerate(blocks):
+        # 1. land prefetches whose latency has elapsed.
+        while arrivals and arrivals[0][0] <= t:
+            _, arrived = arrivals.popleft()
+            if in_flight.pop(arrived, None) is None:
+                continue  # consumed early by a late demand miss
+            evicted = cache.fill(arrived, prefetched=True)
+            if evicted is not None and evicted[1] and not evicted[2]:
+                evicted_unused += 1
+
+        # 2. demand access against both caches.
+        if baseline_cache.lookup(block) is None:
+            baseline_misses += 1
+            baseline_cache.fill(block)
+
+        flags = cache.lookup(block)
+        if flags is not None:
+            if flags[0] and not flags[1]:
+                timely += 1
+            cache.set_demanded(block)
+        else:
+            misses += 1
+            if block in in_flight:
+                # Correct prediction, but the fill is still in flight:
+                # the demand turns it into an ordinary (late) miss fill.
+                late += 1
+                del in_flight[block]
+            evicted = cache.fill(block)
+            if evicted is not None and evicted[1] and not evicted[2]:
+                evicted_unused += 1
+
+        # 3. issue from the precomputed candidate table (offline
+        # candidates already embed the update-then-prefetch protocol).
+        if do_prefetch:
+            for cand in candidates[t]:
+                if cand < 0 or cand in in_flight or cand in cache:
+                    continue
+                if len(in_flight) >= capacity:
+                    dropped += 1
+                    continue
+                in_flight[cand] = t + latency
+                arrivals.append((t + latency, cand))
+                issued += 1
+    if phases is not None:
+        phases["cache_loop_s"] = time.perf_counter() - t0
+
+    return SimResult(
+        prefetcher=prefetcher.name if prefetcher is not None else "none",
+        accesses=n,
+        misses=misses,
+        baseline_misses=baseline_misses,
+        issued_prefetches=issued,
+        timely_prefetches=timely,
+        late_prefetches=late,
+        dropped_prefetches=dropped,
+        evicted_unused_prefetches=evicted_unused,
+        phases=phases,
     )
 
 
@@ -499,6 +789,22 @@ class NeuralPrefetcher:
         for row, pos in enumerate(range(history - 1, n)):
             self._primed[pos] = blocks[row, : counts[row]].tolist()
 
+    def offline_candidates(
+        self, trace: Sequence[MemoryAccess], degree: int, distance: int
+    ) -> List[List[int]]:
+        """Per-position issue windows for the kernel path.
+
+        Primes the whole trace (one batched rollout) and returns, for
+        each position, exactly the slice the streaming path would issue
+        from: ``prefetch(access, degree + distance)[distance:]``.
+        Predictions depend only on the access stream, never on cache
+        state, so the kernel is always available for this prefetcher.
+        """
+        self.prime(trace, degree + distance)
+        assert self._primed is not None
+        want = degree + distance
+        return [row[distance:want] for row in self._primed]
+
 
 def make_prefetcher(
     kind: str,
@@ -528,6 +834,7 @@ def make_prefetcher(
 
 #: Offset count re-exported for sim users that reason about block maths.
 __all__ = [
+    "ArrayCache",
     "CacheConfig",
     "CacheLine",
     "NeuralPrefetcher",

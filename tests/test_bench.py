@@ -9,7 +9,10 @@ from voyager.bench import (
     PREFETCHERS,
     BenchProfile,
     check_sim_budget,
+    derive_cell_seed,
+    resolve_jobs,
     run_bench,
+    strip_timing_fields,
     validate_report,
     write_bench,
 )
@@ -78,12 +81,24 @@ def test_bench_metrics_deterministic_across_runs(report):
 def test_entries_carry_timing_fields(report):
     for entries in report["workloads"].values():
         for entry in entries.values():
-            for field in ("train_s", "sim_s", "elapsed_s"):
+            for field in ("train_s", "sim_s", "cpu_s"):
                 assert isinstance(entry[field], float)
                 assert entry[field] >= 0.0
-            assert entry["elapsed_s"] == pytest.approx(
-                entry["train_s"] + entry["sim_s"], abs=2e-3
-            )
+            # full precision at measurement time: the sum is *exact*
+            assert entry["cpu_s"] == entry["train_s"] + entry["sim_s"]
+
+
+def test_top_level_timing_fields(report):
+    assert report["jobs"] == 1
+    assert isinstance(report["elapsed_s"], float)
+    assert isinstance(report["cpu_s"], float)
+    total = 0.0
+    for entries in report["workloads"].values():
+        for entry in entries.values():
+            total += entry["cpu_s"]
+    assert report["cpu_s"] == pytest.approx(total)
+    # serial: wall-clock covers at least the summed cell CPU time
+    assert report["elapsed_s"] >= report["cpu_s"] * 0.5
 
 
 def test_validator_flags_missing_timing(report):
@@ -112,6 +127,74 @@ def test_write_bench_is_valid_json(report, tmp_path):
     loaded = json.loads(path.read_text())
     assert loaded["schema_version"] == BENCH_SCHEMA_VERSION
     assert validate_report(loaded) == []
+
+
+def test_write_bench_rounds_only_at_serialisation(report, tmp_path):
+    """In-memory timings stay full precision; the JSON copy is rounded."""
+    before = json.loads(json.dumps(report))
+    path = write_bench(report, tmp_path / "BENCH_voyager.json")
+    assert json.loads(json.dumps(report)) == before  # report untouched
+    loaded = json.loads(path.read_text())
+    for entries in loaded["workloads"].values():
+        for entry in entries.values():
+            for field in ("train_s", "sim_s", "cpu_s"):
+                assert entry[field] == round(entry[field], 3)
+    assert loaded["elapsed_s"] == round(loaded["elapsed_s"], 3)
+    # non-timing fields are byte-identical to the in-memory report
+    assert strip_timing_fields(loaded) == strip_timing_fields(report)
+
+
+# ----------------------------------------------------------------------
+# parallel sweep
+# ----------------------------------------------------------------------
+def test_parallel_report_matches_serial(report):
+    """jobs=4 and jobs=1 agree on every non-timing field (tentpole)."""
+    parallel = run_bench(TINY, seed=0, jobs=4)
+    assert parallel["jobs"] == 4
+    assert strip_timing_fields(parallel) == strip_timing_fields(report)
+
+
+def test_strip_timing_fields_removes_all_timing(report):
+    stripped = strip_timing_fields(report)
+    for key in ("elapsed_s", "cpu_s", "jobs"):
+        assert key not in stripped
+    for entries in stripped["workloads"].values():
+        for entry in entries.values():
+            for key in ("train_s", "sim_s", "cpu_s", "phases"):
+                assert key not in entry
+            assert "misses" in entry  # metrics survive
+    assert stripped["schema_version"] == report["schema_version"]
+
+
+def test_resolve_jobs():
+    import os
+
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs("3") == 3
+    assert resolve_jobs("auto") == (os.cpu_count() or 1)
+    with pytest.raises(ValueError, match="jobs must be >= 1"):
+        resolve_jobs(0)
+    with pytest.raises(ValueError):
+        resolve_jobs("lots")
+
+
+def test_derive_cell_seed_is_deterministic_and_per_workload():
+    assert derive_cell_seed(0, "stride") == derive_cell_seed(0, "stride")
+    assert derive_cell_seed(0, "stride") != derive_cell_seed(0, "page_cycle")
+    assert derive_cell_seed(1, "stride") != derive_cell_seed(0, "stride")
+    for workload in ("stride", "page_cycle", "random_walk"):
+        assert 0 <= derive_cell_seed(123, workload) < 2**31
+
+
+def test_profile_sim_records_phases(report):
+    profiled = run_bench(TINY, seed=0, profile_sim=True)
+    for entries in profiled["workloads"].values():
+        for entry in entries.values():
+            phases = entry["phases"]
+            assert "cache_loop_s" in phases
+            assert all(v >= 0.0 for v in phases.values())
+    # phases are a timing field: stripped reports still match
+    assert strip_timing_fields(profiled) == strip_timing_fields(report)
 
 
 def test_main_entry_point_runs_and_gates(tmp_path, capsys, monkeypatch):
