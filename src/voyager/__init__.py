@@ -13,10 +13,19 @@ Prefetching" (Shi et al., ASPLOS 2021).  The package is layered:
   :mod:`voyager.bench` (workload sweep -> ``BENCH_voyager.json``)
 - inference layer: :mod:`voyager.infer` (cache-free incremental
   engine behind the simulator hot path)
+- serving layer: :mod:`voyager.serve` (multi-stream online sessions
+  with cross-stream micro-batching), :mod:`voyager.loadgen`
+  (multi-stream load generator -> ``serving`` bench section)
 """
 
 from voyager.baselines import NextLinePrefetcher, StridePrefetcher
 from voyager.infer import InferenceEngine, LSTMState
+from voyager.serve import (
+    PrefetchResponse,
+    PrefetchServer,
+    ServeConfig,
+    ServerStats,
+)
 from voyager.labeling import LabelConfig, make_labels
 from voyager.model import (
     HierarchicalModel,
@@ -59,6 +68,10 @@ __all__ = [
     "ModelConfig",
     "NeuralPrefetcher",
     "NextLinePrefetcher",
+    "PrefetchResponse",
+    "PrefetchServer",
+    "ServeConfig",
+    "ServerStats",
     "SetAssociativeCache",
     "SimConfig",
     "SimResult",

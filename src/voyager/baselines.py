@@ -23,12 +23,23 @@ streaming path skips them (or receives no candidates at all).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from voyager.traces import MemoryAccess
+
+
+def next_line_candidates(block: int, degree: int) -> List[int]:
+    """The ``degree`` sequential blocks after ``block``.
+
+    The next-line chain in one place: :class:`NextLinePrefetcher` is
+    built on it, and the serving layer (:mod:`voyager.serve`) uses it as
+    the degrade path when backpressure sheds a neural request.
+    """
+    return [block + k for k in range(1, degree + 1)]
 
 
 class NextLinePrefetcher:
@@ -41,7 +52,7 @@ class NextLinePrefetcher:
 
     def prefetch(self, access: MemoryAccess, degree: int = 1) -> List[int]:
         """The next ``degree`` sequential blocks."""
-        return [access.block + k for k in range(1, degree + 1)]
+        return next_line_candidates(access.block, degree)
 
     def update(self, access: MemoryAccess) -> None:  # stateless
         return None
@@ -81,6 +92,11 @@ class StridePrefetcher:
     def __init__(self, max_entries: int = 4096):
         self.max_entries = max_entries
         self.table: Dict[int, _StrideEntry] = {}
+        #: True once :meth:`offline_candidates` declined a trace (too
+        #: many PCs) and the simulator fell back to the streaming path.
+        #: Bench cells surface it as ``stride_fallback`` so a silent
+        #: perf cliff shows up in the report.
+        self.fallback = False
 
     def predict(self, access: MemoryAccess) -> Optional[int]:
         entry = self.table.get(access.pc)
@@ -124,12 +140,25 @@ class StridePrefetcher:
         Returns ``None`` when the trace touches more PCs than the table
         holds: then streaming-mode evictions can reset per-PC state and
         the eviction-free vectorised recurrence would diverge, so the
-        simulator falls back to the streaming path.
+        simulator falls back to the streaming path.  That fallback is
+        loud: it warns once per prefetcher instance and latches
+        :attr:`fallback` so bench reports can record it.
         """
         n = len(trace)
         pcs = np.fromiter((a.pc for a in trace), dtype=np.int64, count=n)
         blocks = np.fromiter((a.block for a in trace), dtype=np.int64, count=n)
-        if np.unique(pcs).size > self.max_entries:
+        distinct_pcs = int(np.unique(pcs).size)
+        if distinct_pcs > self.max_entries:
+            if not self.fallback:
+                warnings.warn(
+                    f"stride offline candidates: trace touches "
+                    f"{distinct_pcs} distinct PCs, more than the "
+                    f"{self.max_entries}-entry table; falling back to the "
+                    f"(slower) streaming simulation path",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            self.fallback = True
             return None
 
         # Group positions by PC (stable, so each group stays in trace

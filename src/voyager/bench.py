@@ -46,6 +46,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from voyager import synthetic
+from voyager.ioutil import atomic_write_text
 from voyager.labeling import LabelConfig
 from voyager.model import HierarchicalModel, ModelConfig
 from voyager.sim import NeuralPrefetcher, SimConfig, make_prefetcher, simulate
@@ -54,7 +55,9 @@ from voyager.train import build_dataset, train
 #: Bumped whenever the report layout changes incompatibly.
 #: v2: per-cell ``elapsed_s`` replaced by ``cpu_s``; top-level gains
 #: ``cpu_s`` and ``jobs``; optional per-cell ``phases``.
-BENCH_SCHEMA_VERSION = 2
+#: v3: stride cells record ``stride_fallback``; optional top-level
+#: ``serving`` section written by ``voyager.loadgen`` (serve-bench).
+BENCH_SCHEMA_VERSION = 3
 
 #: Canonical report filename at the repo root.
 BENCH_FILENAME = "BENCH_voyager.json"
@@ -160,6 +163,11 @@ def bench_cell(
     entry["train_s"] = trained - start
     entry["sim_s"] = done - trained
     entry["cpu_s"] = entry["train_s"] + entry["sim_s"]
+    if kind == "stride":
+        # Latched by StridePrefetcher.offline_candidates when the trace
+        # overflows the table and the sim fell back to streaming mode —
+        # recorded so the perf cliff is visible in the report.
+        entry["stride_fallback"] = bool(getattr(prefetcher, "fallback", False))
     return entry
 
 
@@ -240,8 +248,10 @@ def run_bench(
 #: Per-cell keys that describe *when/how fast*, not *what happened*.
 CELL_TIMING_FIELDS = ("train_s", "sim_s", "cpu_s", "phases")
 
-#: Top-level keys that vary between runs of identical sweeps.
-REPORT_TIMING_FIELDS = ("elapsed_s", "cpu_s", "jobs")
+#: Top-level keys that vary between runs of identical sweeps.  The
+#: ``serving`` section is all throughput/latency measurement, so it is
+#: stripped wholesale.
+REPORT_TIMING_FIELDS = ("elapsed_s", "cpu_s", "jobs", "serving")
 
 
 def strip_timing_fields(report: Dict[str, Any]) -> Dict[str, Any]:
@@ -296,18 +306,53 @@ def _rounded_for_json(report: Dict[str, Any]) -> Dict[str, Any]:
     return out
 
 
+def load_report(path: Union[str, Path]) -> Optional[Dict[str, Any]]:
+    """Read an existing report, or ``None`` if absent/unparseable.
+
+    Tolerant on purpose: a corrupt or foreign file must not block a
+    fresh sweep from overwriting it.
+    """
+    path = Path(path)
+    if not path.is_file():
+        return None
+    try:
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    return loaded if isinstance(loaded, dict) else None
+
+
+def preserve_serving(
+    report: Dict[str, Any], path: Union[str, Path]
+) -> Dict[str, Any]:
+    """Carry an existing file's ``serving`` section into ``report``.
+
+    The sweep and the serve-bench write the same file but own disjoint
+    sections; each preserves the other's on rewrite (serve-bench does
+    the mirror image in :mod:`voyager.loadgen`).
+    """
+    previous = load_report(path)
+    if previous is not None and "serving" in previous and "serving" not in report:
+        report = dict(report)
+        report["serving"] = previous["serving"]
+    return report
+
+
 def write_bench(
     report: Dict[str, Any], path: Union[str, Path] = BENCH_FILENAME
 ) -> Path:
     """Write a report as stable, human-diffable JSON.  Returns the path.
 
     Timing fields are rounded (3 decimals; simulator phases 6) in the
-    serialised copy only; ``report`` itself is left untouched.
+    serialised copy only; ``report`` itself is left untouched.  The
+    write is atomic (temp file + ``os.replace``), so a crashed or
+    interrupted run can never leave a truncated report for CI or the
+    serve-bench merge path to trip over.
     """
     path = Path(path)
-    path.write_text(
+    atomic_write_text(
+        path,
         json.dumps(_rounded_for_json(report), indent=2, sort_keys=True) + "\n",
-        encoding="utf-8",
     )
     return path
 
@@ -357,6 +402,29 @@ def validate_report(report: Dict[str, Any]) -> List[str]:
             problems.append(f"missing top-level {field_name}")
     if not isinstance(report.get("jobs"), int):
         problems.append("missing top-level jobs")
+    if "serving" in report:
+        problems += validate_serving(report["serving"])
+    return problems
+
+
+def validate_serving(serving: Any) -> List[str]:
+    """Shape-check a report's ``serving`` section (empty list = ok).
+
+    The section is produced by :func:`voyager.loadgen.run_loadgen`;
+    only the cross-PR contract is checked here so the bench side stays
+    independent of the load generator.
+    """
+    if not isinstance(serving, dict):
+        return ["serving: expected a dict"]
+    problems: List[str] = []
+    if not isinstance(serving.get("streams"), int) or serving.get("streams", 0) < 1:
+        problems.append("serving: missing streams")
+    for key in ("throughput_accesses_per_s", "speedup_vs_serial"):
+        value = serving.get(key)
+        if not isinstance(value, (int, float)) or value <= 0:
+            problems.append(f"serving: missing {key}")
+    if serving.get("responses_equal_serial") is not True:
+        problems.append("serving: responses_equal_serial is not true")
     return problems
 
 
@@ -433,6 +501,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     problems = validate_report(report)
     if args.max_neural_sim_s is not None:
         problems += check_sim_budget(report, args.max_neural_sim_s)
+    report = preserve_serving(report, args.out)
     path = write_bench(report, args.out)
     for workload, entries in report["workloads"].items():
         for kind, entry in entries.items():

@@ -13,9 +13,15 @@ Four subcommands:
 - ``bench`` — sweep synthetic workloads x prefetchers and write a
   schema-versioned ``BENCH_voyager.json``:
   ``python -m voyager bench --smoke``
+- ``serve`` — serve a trace as interleaved streams through the online
+  serving layer (micro-batched), printing throughput and latency:
+  ``python -m voyager serve --trace trace.txt --checkpoint ckpt/model``
+- ``serve-bench`` — benchmark the serving layer under synthetic
+  multi-stream load and merge a ``serving`` section into the bench
+  report: ``python -m voyager serve-bench --profile smoke --streams 8``
 
 All randomness is seeded, so repeated runs with the same arguments
-print identical numbers (bench wall-clock fields aside).
+print identical numbers (bench/serve wall-clock fields aside).
 """
 
 from __future__ import annotations
@@ -43,6 +49,7 @@ from voyager.bench import (
 )
 from voyager.eval import evaluate, simulate_model
 from voyager.labeling import LabelConfig
+from voyager.loadgen import add_serve_bench_args, run_serve_bench, serve_trace
 from voyager.model import (
     HierarchicalModel,
     ModelConfig,
@@ -162,6 +169,29 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="fail if any workload's neural sim_s exceeds this budget",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a trace as interleaved streams (online serving smoke)",
+    )
+    serve.add_argument("--trace", required=True, help="pc,address trace file")
+    serve.add_argument(
+        "--checkpoint",
+        required=True,
+        help="neural model checkpoint prefix (from train --save)",
+    )
+    serve.add_argument("--streams", type=int, default=4)
+    serve.add_argument("--degree", type=int, default=2)
+    serve.add_argument("--max-batch", type=int, default=64)
+    serve.add_argument(
+        "--dtype", choices=("float64", "float32"), default="float64"
+    )
+
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="benchmark the serving layer, merge a 'serving' report section",
+    )
+    add_serve_bench_args(serve_bench)
 
     return parser
 
@@ -309,13 +339,43 @@ def run_bench_cmd(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_serve(args: argparse.Namespace) -> int:
+    trace = parse_trace(args.trace)
+    model, pc_vocab, page_vocab = load_checkpoint(args.checkpoint)
+    elapsed, candidates, stats = serve_trace(
+        model,
+        pc_vocab,
+        page_vocab,
+        trace,
+        streams=args.streams,
+        degree=args.degree,
+        max_batch=args.max_batch,
+        dtype=np.float32 if args.dtype == "float32" else np.float64,
+    )
+    served = sum(len(c) for c in candidates)
+    latency = stats["latency"]
+    print(
+        f"streams={len(candidates)} accesses={served} "
+        f"throughput={served / elapsed:.1f}/s "
+        f"neural={stats['neural']} cold={stats['cold']} "
+        f"shed={stats['shed']} ticks={stats['ticks']}"
+    )
+    print(
+        f"latency p50={latency['p50_s'] * 1e6:.1f}us "
+        f"p95={latency['p95_s'] * 1e6:.1f}us "
+        f"max={latency['max_s'] * 1e6:.1f}us"
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if not args.command:
         parser.print_usage(sys.stderr)
         print(
-            "error: provide a subcommand: gen, train, simulate or bench",
+            "error: provide a subcommand: gen, train, simulate, bench, "
+            "serve or serve-bench",
             file=sys.stderr,
         )
         return 2
@@ -324,6 +384,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "train": run_training,
         "simulate": run_simulate,
         "bench": run_bench_cmd,
+        "serve": run_serve,
+        "serve-bench": run_serve_bench,
     }
     try:
         return handlers[args.command](args)

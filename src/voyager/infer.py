@@ -18,7 +18,11 @@ module is the inference-only counterpart:
   ``history``-step windows from a zero state and drifts badly when a
   state is continued past that horizon;
 - an optional float32 mode (``dtype=np.float32``) that halves memory
-  traffic for throughput-oriented simulation.
+  traffic for throughput-oriented simulation;
+- an optional ``row_exact`` mode that pins every batch-height-sensitive
+  matmul to its batch-width-1 shape, making batched calls bit-identical
+  *per row* to serial calls — the foundation of the serving layer's
+  cross-stream micro-batching (:mod:`voyager.serve`).
 
 Equivalence guarantee: with ``dtype=np.float64`` (the default) the
 engine shares the model's parameter arrays and performs the same
@@ -35,24 +39,36 @@ property tests in ``tests/test_infer.py`` pin all three.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
 from voyager.model import (
     HierarchicalModel,
-    head_logits,
-    lstm_step,
-    project_features,
+    _lstm_activate,
     softmax,
-    state_from_features,
-    state_from_projected,
     step_features,
     topk_from_logits,
     window_features,
-    window_state,
 )
 from voyager.vocab import OOV_ID
+
+
+def _rowwise_matmul(x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """``x @ w`` computed one ``(1, K)`` row at a time.
+
+    BLAS chooses different kernels — and different summation orders —
+    for different batch heights, so a batched ``(B, K) @ (K, N)``
+    product does not reproduce its rows' ``(1, K) @ (K, N)`` results
+    bit for bit.  This loop pins every row to the exact shape a
+    serially driven engine uses, which is what lets the serving
+    layer's cross-stream micro-batching stay bit-identical per stream
+    (``row_exact=True`` mode below).
+    """
+    out = np.empty((x.shape[0], w.shape[1]), dtype=w.dtype)
+    for i in range(x.shape[0]):
+        out[i : i + 1] = x[i : i + 1] @ w
+    return out
 
 
 @dataclass
@@ -69,6 +85,32 @@ class LSTMState:
     def copy(self) -> "LSTMState":
         return LSTMState(h=self.h.copy(), c=self.c.copy())
 
+    @classmethod
+    def stack(cls, states: Sequence["LSTMState"]) -> "LSTMState":
+        """Concatenate states row-wise into one batched state.
+
+        Rows are copied bit-for-bit, so a batched
+        :meth:`InferenceEngine.step` over the stack advances every
+        constituent exactly as a separate step would — the gather half
+        of the serving layer's cross-stream micro-batching.
+        """
+        if not states:
+            raise ValueError("cannot stack zero states")
+        return cls(
+            h=np.concatenate([s.h for s in states], axis=0),
+            c=np.concatenate([s.c for s in states], axis=0),
+        )
+
+    def row(self, i: int) -> "LSTMState":
+        """Copy row ``i`` out as an independent single-row state.
+
+        The scatter half of micro-batching: after a batched step, each
+        stream takes its row back without aliasing the batch buffers.
+        """
+        return LSTMState(
+            h=self.h[i : i + 1].copy(), c=self.c[i : i + 1].copy()
+        )
+
 
 class InferenceEngine:
     """Cache-free incremental inference over a trained model.
@@ -78,9 +120,24 @@ class InferenceEngine:
     one-time down-cast copy.  All methods are functional: states are
     returned, never mutated in place, so a state can be snapshotted by
     reference and rolled out without disturbing the online stream.
+
+    ``row_exact=True`` switches every batch-height-sensitive matmul to
+    the row-at-a-time form (:func:`_rowwise_matmul`): each row of a
+    batched call then carries bit-identical results to the same row
+    driven through a ``row_exact=False`` engine at batch width 1.  All
+    other ops in the pipeline — embedding gathers, the attention
+    einsums, gate nonlinearities — are already row-independent, so this
+    is the one switch cross-stream micro-batching (:mod:`voyager.serve`)
+    needs to stay bit-identical per stream.  Default off: single-stream
+    and fixed-batch callers keep the fully batched BLAS calls.
     """
 
-    def __init__(self, model: HierarchicalModel, dtype=np.float64):
+    def __init__(
+        self,
+        model: HierarchicalModel,
+        dtype=np.float64,
+        row_exact: bool = False,
+    ):
         self.config = model.config
         self.dtype = np.dtype(dtype)
         if self.dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
@@ -93,6 +150,17 @@ class InferenceEngine:
             self.params = {
                 k: v.astype(self.dtype) for k, v in model.params.items()
             }
+        self.row_exact = bool(row_exact)
+
+    def _mm(self, x: np.ndarray, w: np.ndarray) -> np.ndarray:
+        """``(B, K) @ (K, N)`` — row-at-a-time when ``row_exact`` is on.
+
+        Single rows take the plain matmul either way: at batch width 1
+        the two forms are the same call.
+        """
+        if not self.row_exact or x.shape[0] == 1:
+            return x @ w
+        return _rowwise_matmul(x, w)
 
     # ------------------------------------------------------------------
     # features and state construction
@@ -138,13 +206,35 @@ class InferenceEngine:
     ) -> LSTMState:
         """Advance every row of ``state`` by one observed access."""
         x_t = self.feature_step(pc_ids, page_ids, offset_ids)
-        h, c, _ = lstm_step(self.params, x_t, state.h, state.c)
+        return self.step_from_features(state, x_t)
+
+    def step_from_features(
+        self,
+        state: LSTMState,
+        x_t: np.ndarray,  # (B, 3d) precomputed access features
+    ) -> LSTMState:
+        """Advance ``state`` by one access whose features are precomputed.
+
+        :meth:`step` is exactly ``feature_step`` + this, so a caller
+        that embeds many pending accesses in one batched
+        :meth:`feature_step` call (the serving layer does, across
+        streams) and feeds each row through here reproduces serial
+        :meth:`step` bit for bit.
+        """
+        # Same association as voyager.model.lstm_step:
+        # (x @ w_x + h @ w_h) + b, with in-place adds.
+        a = self._mm(x_t, self.params["w_x"])
+        a += self._mm(state.h, self.params["w_h"])
+        a += self.params["b_lstm"]
+        h, c, *_ = _lstm_activate(a, state.c, state.h.shape[-1])
         return LSTMState(h=h, c=c)
 
     def state_from_features(self, x: np.ndarray) -> LSTMState:
         """Run the LSTM over precomputed ``(B, H, 3d)`` window features."""
-        h, c = state_from_features(self.params, x)
-        return LSTMState(h=h, c=c)
+        state = self.init_state(x.shape[0])
+        for t in range(x.shape[1]):
+            state = self.step_from_features(state, x[:, t, :])
+        return state
 
     def project_features(self, x: np.ndarray) -> np.ndarray:
         """Input projections ``x @ w_x``: ``(B, H, 3d)`` -> ``(B, H, 4h)``.
@@ -152,12 +242,26 @@ class InferenceEngine:
         Like the features themselves, projections carry no recurrence:
         compute them once per column and reuse them across every LSTM
         cell evaluation of every window that contains the column.
+        Projected column by column so each matmul has the exact shape
+        the cell step would use (see :func:`voyager.model.project_features`).
         """
-        return project_features(self.params, x)
+        B, H = x.shape[0], x.shape[1]
+        w_x = self.params["w_x"]
+        ax = np.empty((B, H, w_x.shape[1]), dtype=x.dtype)
+        for t in range(H):
+            ax[:, t, :] = self._mm(x[:, t, :], w_x)
+        return ax
 
     def state_from_projected(self, ax: np.ndarray) -> LSTMState:
         """Run the LSTM over precomputed ``(B, H, 4h)`` input projections."""
-        h, c = state_from_projected(self.params, ax)
+        state = self.init_state(ax.shape[0])
+        h, c = state.h, state.c
+        for t in range(ax.shape[1]):
+            # Same association as voyager.model.lstm_step_projected:
+            # (ax + h @ w_h) + b.
+            a = ax[:, t, :] + self._mm(h, self.params["w_h"])
+            a += self.params["b_lstm"]
+            h, c, *_ = _lstm_activate(a, c, h.shape[-1])
         return LSTMState(h=h, c=c)
 
     def state_from_history(
@@ -172,17 +276,25 @@ class InferenceEngine:
         batched fast path for priming a simulator over every trace
         position simultaneously), then steps the cell ``H`` times.
         """
-        h, c = window_state(
-            self.params, self.config.history, pc_ids, page_ids, offset_ids
+        H = pc_ids.shape[1]
+        if H != self.config.history:
+            raise ValueError(
+                f"expected history length {self.config.history}, got {H}"
+            )
+        return self.state_from_features(
+            self.features(pc_ids, page_ids, offset_ids)
         )
-        return LSTMState(h=h, c=c)
 
     # ------------------------------------------------------------------
     # prediction
     # ------------------------------------------------------------------
     def logits(self, state: LSTMState) -> Tuple[np.ndarray, np.ndarray]:
         """Raw ``(page_logits, offset_logits)`` for a state."""
-        return head_logits(self.params, state.h)
+        return (
+            self._mm(state.h, self.params["w_page"]) + self.params["b_page"],
+            self._mm(state.h, self.params["w_offset"])
+            + self.params["b_offset"],
+        )
 
     def probs(self, state: LSTMState) -> Tuple[np.ndarray, np.ndarray]:
         """Softmax head distributions for a state."""
@@ -313,7 +425,9 @@ class InferenceEngine:
             offsets[:, j] = oid
             valid[:, j] = alive
             if j + 1 < steps:
-                buf[:, H + j] = self.feature_step(pc_ids, pid, oid) @ w_x
+                buf[:, H + j] = self._mm(
+                    self.feature_step(pc_ids, pid, oid), w_x
+                )
         return pages, offsets, valid
 
 

@@ -1,0 +1,72 @@
+"""Atomic file-write helpers shared by checkpoints and bench reports.
+
+A bench or training run killed mid-write must never leave a truncated
+``BENCH_voyager.json`` or a half-written ``.npz``/vocab JSON pair on
+disk: consumers across PRs read those files and would fail confusingly
+(or worse, silently load garbage).  Every writer here stages the full
+payload into a temporary file *in the destination directory* (so the
+final rename never crosses a filesystem boundary) and publishes it with
+:func:`os.replace`, which is atomic on POSIX and Windows alike.  A
+crash at any point leaves either the previous file intact or, at
+worst, a stray ``.tmp`` sibling — never a partial destination file.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, Optional, Union
+
+import numpy as np
+
+
+def _atomic_write(
+    path: Union[str, Path],
+    write_body: Callable[[Any], None],
+    mode: str,
+    encoding: Optional[str] = None,
+) -> Path:
+    """Stage ``write_body``'s output in a sibling temp file, then rename.
+
+    The temp file is created in ``path``'s directory so the concluding
+    :func:`os.replace` is a same-filesystem rename (atomic).  On any
+    error the temp file is removed and the destination is untouched.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, mode, encoding=encoding) as fh:
+            write_body(fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_text(
+    path: Union[str, Path], text: str, encoding: str = "utf-8"
+) -> Path:
+    """Atomically write ``text`` to ``path`` (temp file + rename)."""
+    return _atomic_write(path, lambda fh: fh.write(text), "w", encoding)
+
+
+def atomic_savez(path: Union[str, Path], **arrays: np.ndarray) -> Path:
+    """Atomically write arrays as an ``.npz`` archive to ``path``.
+
+    Passing a file object to :func:`numpy.savez` keeps NumPy from
+    appending its own ``.npz`` suffix, so ``path`` is written exactly
+    as given.
+    """
+    return _atomic_write(path, lambda fh: np.savez(fh, **arrays), "wb")
+
+
+__all__ = ["atomic_savez", "atomic_write_text"]

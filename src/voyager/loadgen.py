@@ -1,0 +1,430 @@
+"""Load generator for the online serving layer (``serve-bench``).
+
+Multiplexes the synthetic workloads of :mod:`voyager.synthetic` into
+many interleaved access streams, drives them through one
+:class:`~voyager.serve.PrefetchServer` (cross-stream micro-batching),
+and through the serial reference — one independent, serially driven
+:class:`~voyager.infer.InferenceEngine` per stream doing the exact same
+per-access work — then reports both throughputs and their ratio into
+the ``serving`` section of ``BENCH_voyager.json`` (bench schema v3).
+
+The two drivers share all model arithmetic, so their candidate lists
+are bit-identical per stream (the server's ``row_exact`` engine
+guarantees it); the run cross-checks that on every access and records
+``responses_equal_serial`` so a silent divergence would fail the CI
+gate, not just slip a throughput number.
+
+Throughput fields are wall-clock measurements and therefore live with
+the other timing fields: :func:`voyager.bench.strip_timing_fields`
+removes the whole section, and a fresh sweep preserves it on rewrite
+(:func:`voyager.bench.preserve_serving`) just as ``serve-bench``
+preserves the sweep's cells.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from voyager import synthetic
+from voyager.bench import (
+    BENCH_FILENAME,
+    BENCH_SCHEMA_VERSION,
+    BenchProfile,
+    SMOKE_PROFILE,
+    _profile_by_name,
+    _train_neural,
+    derive_cell_seed,
+    load_report,
+    validate_serving,
+    write_bench,
+)
+from voyager.infer import InferenceEngine
+from voyager.model import HierarchicalModel
+from voyager.serve import PrefetchServer, ServeConfig
+from voyager.sim import decode_block_candidates, page_id_table
+from voyager.traces import MemoryAccess
+from voyager.vocab import Vocab
+
+
+@dataclass(frozen=True)
+class LoadGenConfig:
+    """Shape of one serve-bench run."""
+
+    streams: int = 8  # concurrent streams, round-robin interleaved
+    accesses_per_stream: int = 200  # served accesses per stream
+    degree: int = 2  # candidates per access
+    max_batch: int = 64  # server coalescing cap
+
+    def __post_init__(self) -> None:
+        if self.streams < 1:
+            raise ValueError(f"streams must be >= 1, got {self.streams}")
+        if self.accesses_per_stream < 1:
+            raise ValueError(
+                f"accesses_per_stream must be >= 1, "
+                f"got {self.accesses_per_stream}"
+            )
+
+
+def mixed_training_trace(
+    profile: BenchProfile, seed: int
+) -> List[MemoryAccess]:
+    """Concatenate a slice of every workload into one training trace.
+
+    The serving model must handle whichever workload a stream replays,
+    so it trains on all of them; per-workload seeds reuse
+    :func:`voyager.bench.derive_cell_seed` for consistency with the
+    sweep.
+    """
+    per_workload = max(1, profile.trace_length // len(profile.workloads))
+    trace: List[MemoryAccess] = []
+    for workload in profile.workloads:
+        trace.extend(
+            synthetic.generate(
+                workload, per_workload, seed=derive_cell_seed(seed, workload)
+            )
+        )
+    return trace
+
+
+def stream_traces(
+    profile: BenchProfile, config: LoadGenConfig, seed: int
+) -> List[List[MemoryAccess]]:
+    """Per-stream access sequences, workloads assigned round-robin.
+
+    Stream ``i`` replays workload ``i % len(workloads)`` with a seed
+    derived from both the workload name and the stream index, so equal
+    workloads on different streams still differ where the generator is
+    randomised.
+    """
+    traces = []
+    for i in range(config.streams):
+        workload = profile.workloads[i % len(profile.workloads)]
+        traces.append(
+            synthetic.generate(
+                workload,
+                config.accesses_per_stream,
+                seed=derive_cell_seed(seed, f"{workload}/stream{i}"),
+            )
+        )
+    return traces
+
+
+def _drive_batched(
+    model: HierarchicalModel,
+    pc_vocab: Vocab,
+    page_vocab: Vocab,
+    traces: Sequence[Sequence[MemoryAccess]],
+    config: LoadGenConfig,
+    dtype,
+) -> Tuple[float, List[List[List[int]]], Dict[str, Any]]:
+    """One server, all streams interleaved; one tick per round.
+
+    Round ``r`` submits every stream's ``r``-th access and ticks once,
+    so each tick coalesces ``streams`` requests into one batched pass —
+    the micro-batching case the subsystem exists for.  Returns
+    ``(elapsed_s, per-stream candidate lists, stats snapshot)``.
+    """
+    server = PrefetchServer(
+        model,
+        pc_vocab,
+        page_vocab,
+        ServeConfig(
+            degree=config.degree,
+            max_sessions=max(config.streams, 1),
+            max_pending=max(config.streams * 4, 16),
+            max_batch=config.max_batch,
+        ),
+        dtype=dtype,
+    )
+    sids = [server.open_stream() for _ in traces]
+    candidates: List[List[List[int]]] = [[] for _ in traces]
+    rounds = max(len(t) for t in traces)
+    start = time.perf_counter()
+    index = {sid: i for i, sid in enumerate(sids)}
+    for r in range(rounds):
+        for i, sid in enumerate(sids):
+            if r < len(traces[i]):
+                server.submit(sid, traces[i][r].pc, traces[i][r].address)
+        for response in server.tick():
+            candidates[index[response.stream_id]].append(response.candidates)
+    while server.pending:  # streams > max_batch leaves a backlog
+        for response in server.tick():
+            candidates[index[response.stream_id]].append(response.candidates)
+    elapsed = time.perf_counter() - start
+    return elapsed, candidates, server.stats.snapshot()
+
+
+def _drive_serial(
+    model: HierarchicalModel,
+    pc_vocab: Vocab,
+    page_vocab: Vocab,
+    traces: Sequence[Sequence[MemoryAccess]],
+    config: LoadGenConfig,
+    dtype,
+) -> Tuple[float, List[List[List[int]]]]:
+    """The reference: one engine per stream, driven access by access.
+
+    Performs exactly the per-access work the server does — embed, cell
+    step, window-replay rollout, candidate decode — but with batch
+    width 1 everywhere and no cross-stream sharing.  The speedup the
+    report quotes is batched throughput over this.
+    """
+    history = model.config.history
+    table = page_id_table(page_vocab)
+    engines = [InferenceEngine(model, dtype=dtype) for _ in traces]
+    candidates: List[List[List[int]]] = [[] for _ in traces]
+    start = time.perf_counter()
+    for i, trace in enumerate(traces):
+        engine = engines[i]
+        state = engine.init_state(1)
+        pc_ids: deque = deque(maxlen=history)
+        feats: deque = deque(maxlen=history)
+        for access in trace:
+            pid = np.array([pc_vocab.encode(access.pc)], dtype=np.int64)
+            gid = np.array([page_vocab.encode(access.page)], dtype=np.int64)
+            oid = np.array([access.offset], dtype=np.int64)
+            feat = engine.feature_step(pid, gid, oid)
+            state = engine.step_from_features(state, feat)
+            pc_ids.append(int(pid[0]))
+            feats.append(feat[0])
+            if len(feats) < history:
+                candidates[i].append([])
+                continue
+            window = np.stack(feats)[None]
+            pages, offsets, valid = engine.rollout_window(
+                window, np.array([pc_ids[-1]], dtype=np.int64), config.degree
+            )
+            candidates[i].append(
+                decode_block_candidates(
+                    table, pages[0], offsets[0], valid[0], config.degree
+                )
+            )
+    elapsed = time.perf_counter() - start
+    return elapsed, candidates
+
+
+def run_loadgen(
+    profile: BenchProfile = SMOKE_PROFILE,
+    config: Optional[LoadGenConfig] = None,
+    seed: int = 0,
+    dtype=np.float64,
+) -> Dict[str, Any]:
+    """Train once, drive both paths, return the ``serving`` section.
+
+    All values are full precision; :func:`attach_serving` rounds at
+    serialisation time, mirroring the sweep's timing-field policy.
+    """
+    config = config or LoadGenConfig()
+    started = time.perf_counter()
+    neural = _train_neural(mixed_training_trace(profile, seed), profile, seed)
+    train_s = time.perf_counter() - started
+    traces = stream_traces(profile, config, seed)
+    total = sum(len(t) for t in traces)
+
+    batched_s, batched_cands, stats = _drive_batched(
+        neural.model, neural.pc_vocab, neural.page_vocab, traces, config, dtype
+    )
+    serial_s, serial_cands = _drive_serial(
+        neural.model, neural.pc_vocab, neural.page_vocab, traces, config, dtype
+    )
+    return {
+        "profile": profile.name,
+        "seed": seed,
+        "dtype": np.dtype(dtype).name,
+        "streams": config.streams,
+        "accesses_per_stream": config.accesses_per_stream,
+        "total_accesses": total,
+        "degree": config.degree,
+        "max_batch": config.max_batch,
+        "train_s": train_s,
+        "batched": {
+            "elapsed_s": batched_s,
+            "throughput_accesses_per_s": total / batched_s,
+        },
+        "serial": {
+            "elapsed_s": serial_s,
+            "throughput_accesses_per_s": total / serial_s,
+        },
+        "throughput_accesses_per_s": total / batched_s,
+        "speedup_vs_serial": serial_s / batched_s,
+        "responses_equal_serial": batched_cands == serial_cands,
+        "stats": stats,
+    }
+
+
+def _rounded(value: Any, digits: int = 6) -> Any:
+    """Recursively round floats for stable, diffable JSON."""
+    if isinstance(value, float):
+        return round(value, digits)
+    if isinstance(value, dict):
+        return {k: _rounded(v, digits) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_rounded(v, digits) for v in value]
+    return value
+
+
+def attach_serving(
+    serving: Dict[str, Any], path=BENCH_FILENAME
+) -> Tuple[Any, Dict[str, Any]]:
+    """Merge a serving section into the bench report file (atomic).
+
+    Preserves an existing sweep's cells; creates a minimal v3 skeleton
+    when no report exists yet (the serve CI job runs standalone).
+    Returns ``(written path, written report)``.
+    """
+    report = load_report(path)
+    if report is None:
+        report = {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "benchmark": "voyager_prefetch_sim",
+        }
+    report["schema_version"] = BENCH_SCHEMA_VERSION
+    report["serving"] = _rounded(serving)
+    return write_bench(report, path), report
+
+
+def serve_trace(
+    model: HierarchicalModel,
+    pc_vocab: Vocab,
+    page_vocab: Vocab,
+    trace: Sequence[MemoryAccess],
+    streams: int = 4,
+    degree: int = 2,
+    max_batch: int = 64,
+    dtype=np.float64,
+) -> Tuple[float, List[List[List[int]]], Dict[str, Any]]:
+    """Round-robin split one trace into ``streams`` and serve it.
+
+    The ``python -m voyager serve`` smoke entry: stream ``i`` gets
+    accesses ``i, i + streams, ...``.  Returns ``(elapsed_s,
+    per-stream candidate lists, stats snapshot)``.
+    """
+    split = [list(trace[i::streams]) for i in range(streams)]
+    split = [t for t in split if t]  # more streams than accesses
+    config = LoadGenConfig(
+        streams=max(len(split), 1),
+        accesses_per_stream=max(len(split[0]), 1) if split else 1,
+        degree=degree,
+        max_batch=max_batch,
+    )
+    return _drive_batched(model, pc_vocab, page_vocab, split, config, dtype)
+
+
+def add_serve_bench_args(parser: argparse.ArgumentParser) -> None:
+    """The serve-bench flag set, shared with ``python -m voyager``."""
+    parser.add_argument(
+        "--profile",
+        choices=("smoke", "full"),
+        default="smoke",
+        help="training budget / workload size (default: smoke)",
+    )
+    parser.add_argument("--streams", type=int, default=8)
+    parser.add_argument(
+        "--accesses",
+        type=int,
+        default=200,
+        help="served accesses per stream (default: 200)",
+    )
+    parser.add_argument("--degree", type=int, default=2)
+    parser.add_argument("--max-batch", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--dtype", choices=("float64", "float32"), default="float64"
+    )
+    parser.add_argument("--out", default=BENCH_FILENAME)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail (exit 1) if batched/serial speedup is below this",
+    )
+    parser.add_argument(
+        "--min-throughput",
+        type=float,
+        default=None,
+        help="fail (exit 1) if batched accesses/s is below this",
+    )
+
+
+def run_serve_bench(args: argparse.Namespace) -> int:
+    """Execute a parsed serve-bench invocation (CLI handler)."""
+    config = LoadGenConfig(
+        streams=args.streams,
+        accesses_per_stream=args.accesses,
+        degree=args.degree,
+        max_batch=args.max_batch,
+    )
+    serving = run_loadgen(
+        _profile_by_name(args.profile),
+        config,
+        seed=args.seed,
+        dtype=np.float32 if args.dtype == "float32" else np.float64,
+    )
+    problems = validate_serving(serving)
+    if args.min_speedup is not None and (
+        serving["speedup_vs_serial"] < args.min_speedup
+    ):
+        problems.append(
+            f"speedup_vs_serial={serving['speedup_vs_serial']:.3f} below "
+            f"--min-speedup {args.min_speedup}"
+        )
+    if args.min_throughput is not None and (
+        serving["throughput_accesses_per_s"] < args.min_throughput
+    ):
+        problems.append(
+            f"throughput={serving['throughput_accesses_per_s']:.1f}/s below "
+            f"--min-throughput {args.min_throughput}"
+        )
+    path, _ = attach_serving(serving, args.out)
+    latency = serving["stats"]["latency"]
+    print(
+        f"streams={serving['streams']} total={serving['total_accesses']} "
+        f"batched={serving['throughput_accesses_per_s']:.1f}/s "
+        f"serial={serving['serial']['throughput_accesses_per_s']:.1f}/s "
+        f"speedup={serving['speedup_vs_serial']:.2f}x "
+        f"equal={serving['responses_equal_serial']}"
+    )
+    print(
+        f"latency p50={latency['p50_s'] * 1e6:.1f}us "
+        f"p95={latency['p95_s'] * 1e6:.1f}us "
+        f"shed={serving['stats']['shed']} ticks={serving['stats']['ticks']}"
+    )
+    print(f"wrote serving section to {path}")
+    if problems:
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m voyager.loadgen`` / ``python -m voyager serve-bench``."""
+    parser = argparse.ArgumentParser(
+        prog="voyager.loadgen",
+        description="Benchmark the online serving layer under multi-stream load.",
+    )
+    add_serve_bench_args(parser)
+    return run_serve_bench(parser.parse_args(argv))
+
+
+__all__ = [
+    "LoadGenConfig",
+    "add_serve_bench_args",
+    "attach_serving",
+    "mixed_training_trace",
+    "run_loadgen",
+    "run_serve_bench",
+    "serve_trace",
+    "stream_traces",
+]
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    raise SystemExit(main())

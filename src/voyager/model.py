@@ -33,6 +33,7 @@ from voyager.embeddings import (
     page_aware_offset_forward,
     page_aware_offset_step,
 )
+from voyager.ioutil import atomic_savez, atomic_write_text
 from voyager.traces import NUM_OFFSETS
 from voyager.vocab import Vocab
 
@@ -574,6 +575,10 @@ def save_checkpoint(
     - ``<prefix>.vocab.json`` — model config, schema version, and both
       vocab mappings in id order.
 
+    Both files are written atomically (staged next to the destination,
+    published with ``os.replace``), so a run killed mid-save can leave
+    stale checkpoint files behind but never truncated ones.
+
     Returns the two paths.  :func:`load_checkpoint` restores a model
     whose predictions are bit-identical to the saved one.
     """
@@ -581,14 +586,14 @@ def save_checkpoint(
     prefix.parent.mkdir(parents=True, exist_ok=True)
     npz_path = prefix.with_suffix(prefix.suffix + ".npz")
     json_path = prefix.with_suffix(prefix.suffix + ".vocab.json")
-    np.savez(npz_path, **model.params)
+    atomic_savez(npz_path, **model.params)
     meta = {
         "schema_version": CHECKPOINT_SCHEMA_VERSION,
         "model_config": asdict(model.config),
         "pc_vocab": pc_vocab.to_dict(),
         "page_vocab": page_vocab.to_dict(),
     }
-    json_path.write_text(json.dumps(meta), encoding="utf-8")
+    atomic_write_text(json_path, json.dumps(meta))
     return npz_path, json_path
 
 

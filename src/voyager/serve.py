@@ -1,0 +1,517 @@
+"""Online prefetch serving: multi-stream sessions, cross-stream batching.
+
+Everything below :mod:`voyager.sim` replays one whole trace at a time;
+a deployed prefetcher instead sees *many concurrent access streams*
+(cores, threads, tenants) and must produce predictions per access
+under a latency budget — the practicality framing of Hashemi et al.
+(2018) and the tabularization line of Zhang et al. (2024).  This
+module is that missing layer:
+
+- :class:`StreamSession` — per-stream serving state: an incremental
+  :class:`~voyager.infer.LSTMState` plus the sliding feature window the
+  window-replay rollout needs.  Features are embedded once per access
+  and never recomputed.
+- :class:`PrefetchServer` — the façade: ``open_stream`` / ``access`` /
+  ``close_stream``, a bounded session table with LRU eviction, and a
+  queue-depth cap with an explicit shed policy (degrade to next-line
+  candidates, or drop) so overload degrades instead of queueing
+  unboundedly.
+- the micro-batching scheduler inside :meth:`PrefetchServer.tick`: all
+  pending ``step`` requests across streams are coalesced into **one**
+  batched feature embed, one batched LSTM cell evaluation per wave
+  (wave ``k`` = the ``k``-th pending access of each stream, so
+  per-stream recurrence order is preserved), and one batched
+  window-replay rollout for every prediction-eligible request.  Per
+  stream the arithmetic is bit-identical to driving a serial
+  :class:`~voyager.infer.InferenceEngine`: the server's engine runs in
+  ``row_exact`` mode, which pins every batch-height-sensitive matmul to
+  its batch-width-1 shape (BLAS changes summation order with batch
+  height), and every other op in the pipeline is row-independent.
+  ``tests/test_serve.py`` pins the equivalence — states, top-k and
+  candidates — with hypothesis property tests in float64 and float32.
+- :class:`ServerStats` — request/shed/batch-size-histogram counters and
+  p50/p95 response latency measured through an injected clock, so tests
+  pin exact percentile values and production callers get wall-clock.
+
+The server is deterministic given a deterministic submit/tick schedule:
+same streams + same accesses means bit-identical candidates, which is
+what lets :mod:`voyager.loadgen` assert reproducible throughput runs.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from voyager.baselines import next_line_candidates
+from voyager.infer import InferenceEngine, LSTMState
+from voyager.model import HierarchicalModel
+from voyager.sim import decode_block_candidates, page_id_table
+from voyager.traces import MemoryAccess
+from voyager.vocab import Vocab
+
+#: ``PrefetchResponse.source`` values.
+SOURCE_NEURAL = "neural"  # batched rollout over the stream's window
+SOURCE_COLD = "cold"  # stream has fewer than ``history`` accesses
+SOURCE_SHED = "shed"  # backpressure: degraded or dropped at submit
+SOURCE_ORPHANED = "orphaned"  # session evicted/closed before the tick
+
+SHED_POLICIES = ("next_line", "drop")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Capacity, batching and degrade knobs for :class:`PrefetchServer`."""
+
+    degree: int = 2  # candidates returned per access
+    max_sessions: int = 64  # bounded session table (LRU eviction)
+    max_pending: int = 256  # neural-eligible requests queued per tick
+    max_batch: int = 64  # requests coalesced into one tick
+    shed_policy: str = "next_line"  # overload response: degrade or drop
+
+    def __post_init__(self) -> None:
+        if self.degree < 1:
+            raise ValueError(f"degree must be >= 1, got {self.degree}")
+        if self.max_sessions < 1:
+            raise ValueError(
+                f"max_sessions must be >= 1, got {self.max_sessions}"
+            )
+        if self.max_pending < 1:
+            raise ValueError(
+                f"max_pending must be >= 1, got {self.max_pending}"
+            )
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.shed_policy not in SHED_POLICIES:
+            raise ValueError(
+                f"shed_policy must be one of {SHED_POLICIES}, "
+                f"got {self.shed_policy!r}"
+            )
+
+
+@dataclass(frozen=True)
+class PrefetchResponse:
+    """One served prediction: candidates plus provenance and latency."""
+
+    stream_id: Hashable
+    seq: int  # server-wide request sequence number
+    candidates: List[int]  # candidate block addresses, nearest first
+    source: str  # one of the SOURCE_* constants
+    latency_s: float  # submit -> response, via the injected clock
+
+
+class StreamSession:
+    """Per-stream serving state owned by :class:`PrefetchServer`.
+
+    Carries the incremental recurrent state (advanced by the batched
+    cell step each tick) and the sliding window of per-access features
+    (consumed by the batched window-replay rollout).  Both live here so
+    a stream can be evicted or closed without touching any other
+    stream's state.
+    """
+
+    __slots__ = ("stream_id", "state", "pc_ids", "feats", "accesses")
+
+    def __init__(self, stream_id: Hashable, engine: InferenceEngine):
+        self.stream_id = stream_id
+        self.state = engine.init_state(1)
+        history = engine.config.history
+        self.pc_ids: deque = deque(maxlen=history)
+        self.feats: deque = deque(maxlen=history)  # (3d,) per access
+        self.accesses = 0
+
+
+class ServerStats:
+    """Counters, batch-size histogram and latency percentiles.
+
+    Latency samples are bounded (a rolling window of the most recent
+    ``max_latency_samples``) so a long-lived server cannot grow its
+    stats surface without bound.
+    """
+
+    def __init__(self, max_latency_samples: int = 65536):
+        self.requests = 0
+        self.responses = 0
+        self.neural = 0
+        self.cold = 0
+        self.shed = 0
+        self.orphaned = 0
+        self.ticks = 0
+        self.opened = 0
+        self.closed = 0
+        self.evicted = 0
+        self.batch_size_hist: Dict[int, int] = {}
+        self._latencies: deque = deque(maxlen=max_latency_samples)
+
+    def observe_tick(self, batch_size: int) -> None:
+        self.ticks += 1
+        self.batch_size_hist[batch_size] = (
+            self.batch_size_hist.get(batch_size, 0) + 1
+        )
+
+    def observe_response(self, response: PrefetchResponse) -> None:
+        self.responses += 1
+        if response.source == SOURCE_NEURAL:
+            self.neural += 1
+        elif response.source == SOURCE_COLD:
+            self.cold += 1
+        elif response.source == SOURCE_ORPHANED:
+            self.orphaned += 1
+        self._latencies.append(response.latency_s)
+
+    @staticmethod
+    def _percentile(ordered: List[float], q: float) -> float:
+        """Nearest-rank percentile of an ascending-sorted sample list."""
+        if not ordered:
+            return 0.0
+        rank = max(1, int(np.ceil(q / 100.0 * len(ordered))))
+        return ordered[rank - 1]
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        ordered = sorted(self._latencies)
+        return {
+            "count": len(ordered),
+            "p50_s": self._percentile(ordered, 50.0),
+            "p95_s": self._percentile(ordered, 95.0),
+            "max_s": ordered[-1] if ordered else 0.0,
+            "mean_s": float(np.mean(ordered)) if ordered else 0.0,
+        }
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe view of every counter plus latency percentiles."""
+        return {
+            "requests": self.requests,
+            "responses": self.responses,
+            "neural": self.neural,
+            "cold": self.cold,
+            "shed": self.shed,
+            "orphaned": self.orphaned,
+            "ticks": self.ticks,
+            "opened": self.opened,
+            "closed": self.closed,
+            "evicted": self.evicted,
+            "batch_size_hist": dict(sorted(self.batch_size_hist.items())),
+            "latency": self.latency_percentiles(),
+        }
+
+
+@dataclass
+class _Pending:
+    """A submitted access waiting for the next tick."""
+
+    seq: int
+    stream_id: Hashable
+    access: MemoryAccess
+    submitted_s: float
+    degraded: bool  # shed at submit time: skip the rollout
+
+
+class PrefetchServer:
+    """Online serving façade over one trained hierarchical model.
+
+    ``open_stream`` registers a session (evicting the least-recently-
+    used one at capacity), ``submit`` enqueues an access, ``tick``
+    coalesces everything pending into one batched pass and returns the
+    responses, and ``access`` is the submit-and-tick convenience for
+    serial callers.  All model arithmetic goes through one shared
+    :class:`~voyager.infer.InferenceEngine`; sessions only hold state.
+    """
+
+    def __init__(
+        self,
+        model: HierarchicalModel,
+        pc_vocab: Vocab,
+        page_vocab: Vocab,
+        config: Optional[ServeConfig] = None,
+        dtype=np.float64,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.config = config or ServeConfig()
+        # row_exact: batched ticks must reproduce serially driven
+        # engines bit for bit per stream (see voyager.infer._mm).
+        self.engine = InferenceEngine(model, dtype=dtype, row_exact=True)
+        self.history = model.config.history
+        self.pc_vocab = pc_vocab
+        self.page_vocab = page_vocab
+        self.clock = clock
+        self.stats = ServerStats()
+        self._page_table = page_id_table(page_vocab)
+        self._sessions: "OrderedDict[Hashable, StreamSession]" = OrderedDict()
+        self._pending: deque = deque()  # of _Pending
+        self._pending_neural = 0
+        self._seq = 0
+        self._auto_stream = 0
+        self._undelivered: List[PrefetchResponse] = []
+
+    # ------------------------------------------------------------------
+    # session lifecycle
+    # ------------------------------------------------------------------
+    def open_stream(self, stream_id: Optional[Hashable] = None) -> Hashable:
+        """Register a new stream session and return its id.
+
+        ``stream_id=None`` auto-assigns ``"s0"``, ``"s1"``, ....  At
+        ``max_sessions`` capacity the least-recently-used session is
+        evicted first; its still-pending requests resolve as
+        ``orphaned`` at the next tick.
+        """
+        if stream_id is None:
+            while f"s{self._auto_stream}" in self._sessions:
+                self._auto_stream += 1
+            stream_id = f"s{self._auto_stream}"
+            self._auto_stream += 1
+        elif stream_id in self._sessions:
+            raise ValueError(f"stream {stream_id!r} is already open")
+        while len(self._sessions) >= self.config.max_sessions:
+            self._sessions.popitem(last=False)
+            self.stats.evicted += 1
+        self._sessions[stream_id] = StreamSession(stream_id, self.engine)
+        self.stats.opened += 1
+        return stream_id
+
+    def close_stream(self, stream_id: Hashable) -> None:
+        """Drop a session; raises :class:`KeyError` if it is not open."""
+        del self._sessions[stream_id]
+        self.stats.closed += 1
+
+    @property
+    def open_streams(self) -> List[Hashable]:
+        """Open stream ids, least-recently-used first."""
+        return list(self._sessions)
+
+    @property
+    def pending(self) -> int:
+        """Requests waiting for the next tick."""
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    def submit(self, stream_id: Hashable, pc: int, address: int) -> int:
+        """Enqueue one access for ``stream_id``; returns its sequence no.
+
+        Raises :class:`KeyError` for unknown (closed or evicted)
+        streams.  When the neural-eligible backlog is at
+        ``max_pending`` the request is *shed*: it still updates the
+        stream's state at the next tick (so later predictions stay
+        exact) but skips the rollout, answering with the shed policy's
+        candidates instead.
+        """
+        session = self._sessions[stream_id]
+        self._sessions.move_to_end(stream_id)  # LRU touch
+        del session  # state is updated at tick time, in queue order
+        seq = self._seq
+        self._seq += 1
+        self.stats.requests += 1
+        degraded = self._pending_neural >= self.config.max_pending
+        if degraded:
+            self.stats.shed += 1
+        else:
+            self._pending_neural += 1
+        self._pending.append(
+            _Pending(
+                seq=seq,
+                stream_id=stream_id,
+                access=MemoryAccess.from_pc_address(pc, address),
+                submitted_s=self.clock(),
+                degraded=degraded,
+            )
+        )
+        return seq
+
+    def access(self, stream_id: Hashable, pc: int, address: int) -> PrefetchResponse:
+        """Submit one access and tick until its response is produced.
+
+        Convenience for serial callers.  Responses for *other* pending
+        requests drained by the same ticks are buffered; collect them
+        with :meth:`poll`.
+        """
+        seq = self.submit(stream_id, pc, address)
+        mine: Optional[PrefetchResponse] = None
+        while mine is None:
+            responses = self.tick()
+            if not responses:  # pragma: no cover - defensive
+                raise RuntimeError(f"request {seq} never resolved")
+            for response in responses:
+                if response.seq == seq:
+                    mine = response
+                else:
+                    self._undelivered.append(response)
+        return mine
+
+    def poll(self) -> List[PrefetchResponse]:
+        """Return (and clear) responses buffered by :meth:`access`."""
+        out = self._undelivered
+        self._undelivered = []
+        return out
+
+    # ------------------------------------------------------------------
+    # micro-batching scheduler
+    # ------------------------------------------------------------------
+    def tick(self) -> List[PrefetchResponse]:
+        """Coalesce up to ``max_batch`` pending requests into one pass.
+
+        One batched feature embed covers every request; one batched
+        cell evaluation per *wave* advances the recurrent state (wave
+        ``k`` holds the ``k``-th pending access of each stream, which
+        preserves per-stream ordering while batching across streams);
+        one batched window-replay rollout serves every
+        prediction-eligible request.  Responses come back in submit
+        order.
+        """
+        batch: List[_Pending] = []
+        while self._pending and len(batch) < self.config.max_batch:
+            batch.append(self._pending.popleft())
+        if not batch:
+            return []
+        self.stats.observe_tick(len(batch))
+
+        # Split off requests whose session vanished (closed/evicted
+        # after submit): they resolve as orphaned, with the degrade
+        # candidates, and touch no model state.
+        live: List[Tuple[_Pending, StreamSession]] = []
+        orphaned: Dict[int, _Pending] = {}
+        for req in batch:
+            if not req.degraded:
+                self._pending_neural -= 1
+            session = self._sessions.get(req.stream_id)
+            if session is None:
+                orphaned[req.seq] = req
+            else:
+                live.append((req, session))
+
+        candidates_by_seq: Dict[int, List[int]] = {}
+        sources_by_seq: Dict[int, str] = {}
+        if live:
+            # Phase A: one batched embed for every live request.
+            pc_ids = np.array(
+                [self.pc_vocab.encode(req.access.pc) for req, _ in live],
+                dtype=np.int64,
+            )
+            page_ids = np.array(
+                [self.page_vocab.encode(req.access.page) for req, _ in live],
+                dtype=np.int64,
+            )
+            offset_ids = np.array(
+                [req.access.offset for req, _ in live], dtype=np.int64
+            )
+            feats = self.engine.feature_step(pc_ids, page_ids, offset_ids)
+
+            # Phase B: batched cell step per wave.  A stream with m
+            # pending accesses needs m sequential steps; batching the
+            # k-th access of every stream keeps each stream's order.
+            waves: List[List[int]] = []
+            depth: Dict[Hashable, int] = {}
+            for i, (req, _) in enumerate(live):
+                k = depth.get(req.stream_id, 0)
+                depth[req.stream_id] = k + 1
+                if k == len(waves):
+                    waves.append([])
+                waves[k].append(i)
+            for wave in waves:
+                stacked = LSTMState.stack([live[i][1].state for i in wave])
+                stepped = self.engine.step_from_features(stacked, feats[wave])
+                for j, i in enumerate(wave):
+                    live[i][1].state = stepped.row(j)
+
+            # Phase C: append features in submit order and snapshot the
+            # windows of rollout-eligible requests.
+            rollout_rows: List[np.ndarray] = []
+            rollout_pcs: List[int] = []
+            rollout_seqs: List[int] = []
+            for i, (req, session) in enumerate(live):
+                session.accesses += 1
+                session.pc_ids.append(int(pc_ids[i]))
+                session.feats.append(feats[i])
+                if req.degraded:
+                    continue
+                if len(session.feats) < self.history:
+                    sources_by_seq[req.seq] = SOURCE_COLD
+                    candidates_by_seq[req.seq] = []
+                    continue
+                rollout_rows.append(np.stack(session.feats))
+                rollout_pcs.append(session.pc_ids[-1])
+                rollout_seqs.append(req.seq)
+
+            # Phase D: one batched rollout + shared decode.
+            if rollout_rows:
+                windows = np.stack(rollout_rows)  # (R, H, 3d)
+                pc_last = np.array(rollout_pcs, dtype=np.int64)
+                pages, offsets, valid = self.engine.rollout_window(
+                    windows, pc_last, self.config.degree
+                )
+                for r, seq in enumerate(rollout_seqs):
+                    sources_by_seq[seq] = SOURCE_NEURAL
+                    candidates_by_seq[seq] = decode_block_candidates(
+                        self._page_table,
+                        pages[r],
+                        offsets[r],
+                        valid[r],
+                        self.config.degree,
+                    )
+
+        # Phase E: responses in submit order.
+        now = self.clock()
+        responses: List[PrefetchResponse] = []
+        for req in batch:
+            if req.seq in orphaned:
+                source = SOURCE_ORPHANED
+                cands = self._degrade_candidates(req)
+            elif req.degraded:
+                source = SOURCE_SHED
+                cands = self._degrade_candidates(req)
+            else:
+                source = sources_by_seq[req.seq]
+                cands = candidates_by_seq[req.seq]
+            response = PrefetchResponse(
+                stream_id=req.stream_id,
+                seq=req.seq,
+                candidates=cands,
+                source=source,
+                latency_s=now - req.submitted_s,
+            )
+            self.stats.observe_response(response)
+            responses.append(response)
+        return responses
+
+    def _degrade_candidates(self, req: _Pending) -> List[int]:
+        if self.config.shed_policy == "next_line":
+            return next_line_candidates(req.access.block, self.config.degree)
+        return []
+
+    # ------------------------------------------------------------------
+    # direct state inspection
+    # ------------------------------------------------------------------
+    def topk(self, stream_id: Hashable, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` ``(page_ids, offset_ids)`` from a stream's live state.
+
+        Served from the incrementally-stepped recurrent state (not the
+        window rollout), so this is exactly what a serial
+        :meth:`~voyager.infer.InferenceEngine.predict_topk` over the
+        stream's accesses would return — the equivalence the batched
+        cell step guarantees per row.
+        """
+        state = self._sessions[stream_id].state
+        pages, offsets = self.engine.predict_topk(state, k)
+        return pages[0], offsets[0]
+
+    def session_state(self, stream_id: Hashable) -> LSTMState:
+        """Copy of a stream's recurrent state (tests pin bit-equality)."""
+        return self._sessions[stream_id].state.copy()
+
+
+__all__ = [
+    "PrefetchResponse",
+    "PrefetchServer",
+    "SHED_POLICIES",
+    "SOURCE_COLD",
+    "SOURCE_NEURAL",
+    "SOURCE_ORPHANED",
+    "SOURCE_SHED",
+    "ServeConfig",
+    "ServerStats",
+    "StreamSession",
+]

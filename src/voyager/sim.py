@@ -639,6 +639,40 @@ def _run_kernel(
 
 
 # ----------------------------------------------------------------------
+# shared candidate decode helpers
+# ----------------------------------------------------------------------
+def page_id_table(page_vocab: Vocab) -> np.ndarray:
+    """Vectorised page-id -> raw-page decode table.
+
+    Index 0 is the OOV placeholder (rollouts never mark an OOV
+    prediction valid, so the 0 there is never decoded).  Shared by
+    :class:`NeuralPrefetcher` and the online serving layer
+    (:mod:`voyager.serve`) so both decode predictions identically.
+    """
+    return np.array(
+        [0] + [page_vocab.decode(i) for i in range(1, page_vocab.size)],
+        dtype=np.int64,
+    )
+
+
+def decode_block_candidates(
+    page_table: np.ndarray,  # from :func:`page_id_table`
+    pages: np.ndarray,  # (S,) page vocab ids
+    offsets: np.ndarray,  # (S,)
+    valid: np.ndarray,  # (S,) bool, monotone prefix
+    limit: int,
+) -> List[int]:
+    """Decode one rollout row into up to ``limit`` block addresses.
+
+    ``valid`` is a monotone prefix (False from the first OOV step on),
+    so its first False bounds the decodable candidates.
+    """
+    n = min(limit, valid.shape[0] if valid.all() else int(valid.argmin()))
+    raw = page_table[pages[:n]]
+    return ((raw << OFFSET_BITS) | offsets[:n]).tolist()
+
+
+# ----------------------------------------------------------------------
 # neural prefetcher adapter
 # ----------------------------------------------------------------------
 class NeuralPrefetcher:
@@ -697,12 +731,7 @@ class NeuralPrefetcher:
         history = model.config.history
         self._pc_ids: deque = deque(maxlen=history)
         self._feats: deque = deque(maxlen=history)  # (3d,) per access
-        # Vectorised page-id -> raw-page decode (index 0 is the OOV
-        # placeholder; rollouts never mark an OOV prediction valid).
-        self._page_table = np.array(
-            [0] + [page_vocab.decode(i) for i in range(1, page_vocab.size)],
-            dtype=np.int64,
-        )
+        self._page_table = page_id_table(page_vocab)
         # primed-mode storage: candidate blocks per trace position
         self._primed: Optional[List[List[int]]] = None
         self._pos = -1
@@ -727,11 +756,9 @@ class NeuralPrefetcher:
         valid: np.ndarray,  # (S,) bool
         limit: int,
     ) -> List[int]:
-        # ``valid`` is a monotone prefix (False from the first OOV on),
-        # so its first False bounds the decodable candidates.
-        n = min(limit, valid.shape[0] if valid.all() else int(valid.argmin()))
-        raw = self._page_table[pages[:n]]
-        return ((raw << OFFSET_BITS) | offsets[:n]).tolist()
+        return decode_block_candidates(
+            self._page_table, pages, offsets, valid, limit
+        )
 
     def prefetch(self, access: MemoryAccess, degree: int = 1) -> List[int]:
         if degree < 1:
@@ -842,7 +869,9 @@ __all__ = [
     "SetAssociativeCache",
     "SimConfig",
     "SimResult",
+    "decode_block_candidates",
     "make_prefetcher",
+    "page_id_table",
     "simulate",
     "NUM_OFFSETS",
 ]

@@ -1,5 +1,7 @@
 """Baseline prefetcher tests."""
 
+import pytest
+
 from voyager.baselines import (
     NextLinePrefetcher,
     StridePrefetcher,
@@ -86,3 +88,31 @@ def test_stride_prefetch_empty_until_confirmed():
 def test_prefetchers_expose_names():
     assert NextLinePrefetcher().name == "next_line"
     assert StridePrefetcher().name == "stride"
+
+
+# ----------------------------------------------------------------------
+# stride offline fallback is loud and latched
+# ----------------------------------------------------------------------
+def test_stride_offline_fallback_warns_once_and_latches():
+    import warnings
+
+    from voyager.synthetic import random_walk_trace
+
+    trace = random_walk_trace(200, seed=3)
+    pf = StridePrefetcher(max_entries=2)
+    assert pf.fallback is False
+    with pytest.warns(RuntimeWarning, match="falling back"):
+        assert pf.offline_candidates(trace, 2, 0) is None
+    assert pf.fallback is True
+    # second decline on the same instance stays quiet (already latched)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert pf.offline_candidates(trace, 2, 0) is None
+    assert pf.fallback is True
+
+
+def test_next_line_candidates_helper():
+    from voyager.baselines import next_line_candidates
+
+    assert next_line_candidates(100, 3) == [101, 102, 103]
+    assert next_line_candidates(5, 1) == [6]

@@ -116,6 +116,41 @@ def test_check_sim_budget_gate(report):
     assert any("no sim_s" in p for p in check_sim_budget(missing, 1.0))
 
 
+def test_stride_cells_record_fallback_flag(report):
+    """Every stride cell carries the (v3) stride_fallback indicator."""
+    for workload, entries in report["workloads"].items():
+        assert entries["stride"]["stride_fallback"] is False, workload
+        for kind in ("next_line", "neural"):
+            assert "stride_fallback" not in entries[kind]
+
+
+def test_stride_fallback_flag_set_when_table_overflows():
+    import voyager.bench as bench_mod
+
+    tiny_table = BenchProfile(
+        name="tiny",
+        trace_length=200,
+        train_steps=5,
+        embed_dim=8,
+        hidden_dim=16,
+        workloads=("random_walk",),
+    )
+
+    def overflowing(kind):
+        from voyager.baselines import StridePrefetcher
+        from voyager.sim import make_prefetcher
+
+        if kind == "stride":
+            return StridePrefetcher(max_entries=2)
+        return make_prefetcher(kind)
+
+    with pytest.MonkeyPatch.context() as mp:
+        mp.setattr(bench_mod, "make_prefetcher", overflowing)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            cell = bench_mod.bench_cell("random_walk", "stride", tiny_table)
+    assert cell["stride_fallback"] is True
+
+
 def test_next_line_covers_stride_workload(report):
     entry = report["workloads"]["stride"]["next_line"]
     assert entry["coverage"] > 0.9
@@ -127,6 +162,8 @@ def test_write_bench_is_valid_json(report, tmp_path):
     loaded = json.loads(path.read_text())
     assert loaded["schema_version"] == BENCH_SCHEMA_VERSION
     assert validate_report(loaded) == []
+    # atomic write: no staging temp files survive
+    assert [p.name for p in tmp_path.iterdir()] == ["BENCH_voyager.json"]
 
 
 def test_write_bench_rounds_only_at_serialisation(report, tmp_path):

@@ -295,3 +295,92 @@ def test_streaming_and_primed_candidates_agree(small_fit):
         assert primed.prefetch(access, lookahead) == streaming.prefetch(
             access, lookahead
         ), f"candidate mismatch at position {i}"
+
+
+# ----------------------------------------------------------------------
+# row_exact mode: batched rows == serial batch-width-1 runs, bit for bit
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    model_seed=st.integers(min_value=0, max_value=50),
+    data_seed=st.integers(min_value=0, max_value=1_000_000),
+    B=st.integers(min_value=2, max_value=6),
+)
+def test_row_exact_batched_ops_match_serial_rows(model_seed, data_seed, B):
+    """A row_exact engine's batched step/logits/rollout reproduce each
+    row of a plain engine driven at batch width 1 — the serving layer's
+    micro-batching contract (plain batched BLAS does not guarantee
+    this; the row-at-a-time matmuls do)."""
+    model = tiny_model(model_seed)
+    batched = InferenceEngine(model, row_exact=True)
+    serial = InferenceEngine(model)
+    pc_w, page_w, off_w = random_windows(model, B, data_seed)
+
+    state_b = batched.state_from_history(pc_w, page_w, off_w)
+    feats = batched.features(pc_w, page_w, off_w)
+    for i in range(B):
+        row = serial.state_from_history(
+            pc_w[i : i + 1], page_w[i : i + 1], off_w[i : i + 1]
+        )
+        np.testing.assert_array_equal(state_b.h[i : i + 1], row.h)
+        np.testing.assert_array_equal(state_b.c[i : i + 1], row.c)
+
+        page_l, off_l = batched.logits(state_b)
+        page_r, off_r = serial.logits(row)
+        np.testing.assert_array_equal(page_l[i : i + 1], page_r)
+        np.testing.assert_array_equal(off_l[i : i + 1], off_r)
+
+    stepped = batched.step(state_b, pc_w[:, -1], page_w[:, -1], off_w[:, -1])
+    pages_b, offs_b, valid_b = batched.rollout_window(feats, pc_w[:, -1], 3)
+    for i in range(B):
+        row = serial.state_from_history(
+            pc_w[i : i + 1], page_w[i : i + 1], off_w[i : i + 1]
+        )
+        row_step = serial.step(
+            row, pc_w[i : i + 1, -1], page_w[i : i + 1, -1], off_w[i : i + 1, -1]
+        )
+        np.testing.assert_array_equal(stepped.h[i : i + 1], row_step.h)
+        np.testing.assert_array_equal(stepped.c[i : i + 1], row_step.c)
+
+        pages_r, offs_r, valid_r = serial.rollout_window(
+            feats[i : i + 1], pc_w[i : i + 1, -1], 3
+        )
+        # entries past a row's OOV cutoff are unspecified (the serial
+        # B=1 run stops early; the batch keeps stepping other rows), so
+        # only valid positions are part of the contract
+        np.testing.assert_array_equal(valid_b[i : i + 1], valid_r)
+        mask = valid_r[0]
+        np.testing.assert_array_equal(pages_b[i, mask], pages_r[0, mask])
+        np.testing.assert_array_equal(offs_b[i, mask], offs_r[0, mask])
+
+
+def test_row_exact_is_identity_at_batch_width_one():
+    """row_exact changes nothing for B=1 (same call shapes)."""
+    model = tiny_model(2)
+    pc_w, page_w, off_w = random_windows(model, 1, 9)
+    plain = InferenceEngine(model).state_from_history(pc_w, page_w, off_w)
+    exact = InferenceEngine(model, row_exact=True).state_from_history(
+        pc_w, page_w, off_w
+    )
+    np.testing.assert_array_equal(plain.h, exact.h)
+    np.testing.assert_array_equal(plain.c, exact.c)
+
+
+def test_lstm_state_stack_and_row_round_trip():
+    model = tiny_model(3)
+    engine = InferenceEngine(model)
+    states = []
+    for seed in range(3):
+        pc_w, page_w, off_w = random_windows(model, 1, seed)
+        states.append(engine.state_from_history(pc_w, page_w, off_w))
+    stacked = LSTMState.stack(states)
+    assert stacked.batch == 3
+    for i, state in enumerate(states):
+        row = stacked.row(i)
+        np.testing.assert_array_equal(row.h, state.h)
+        np.testing.assert_array_equal(row.c, state.c)
+        # row() copies: mutating the row leaves the stack untouched
+        row.h += 1.0
+        np.testing.assert_array_equal(stacked.row(i).h, state.h)
+    with pytest.raises(ValueError, match="zero states"):
+        LSTMState.stack([])

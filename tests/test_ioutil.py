@@ -1,0 +1,40 @@
+"""Atomic-write tests: durability on success, no damage on failure."""
+
+import numpy as np
+import pytest
+
+from voyager.ioutil import _atomic_write, atomic_savez, atomic_write_text
+
+
+def test_atomic_write_text_creates_and_replaces(tmp_path):
+    path = tmp_path / "report.json"
+    atomic_write_text(path, "first")
+    assert path.read_text() == "first"
+    atomic_write_text(path, "second")
+    assert path.read_text() == "second"
+    # no temp droppings
+    assert [p.name for p in tmp_path.iterdir()] == ["report.json"]
+
+
+def test_atomic_savez_round_trips(tmp_path):
+    path = tmp_path / "model.npz"
+    arrays = {"w": np.arange(6.0).reshape(2, 3), "b": np.zeros(3)}
+    atomic_savez(path, **arrays)
+    with np.load(path) as loaded:
+        for key, value in arrays.items():
+            np.testing.assert_array_equal(loaded[key], value)
+    assert [p.name for p in tmp_path.iterdir()] == ["model.npz"]
+
+
+def test_failed_write_leaves_original_intact(tmp_path):
+    path = tmp_path / "report.json"
+    atomic_write_text(path, "original")
+
+    def explode(handle):
+        handle.write("partial")
+        raise RuntimeError("disk on fire")
+
+    with pytest.raises(RuntimeError, match="disk on fire"):
+        _atomic_write(path, explode, mode="w", encoding="utf-8")
+    assert path.read_text() == "original"
+    assert [p.name for p in tmp_path.iterdir()] == ["report.json"]

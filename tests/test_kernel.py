@@ -181,14 +181,18 @@ def test_default_dispatch_equals_both_paths_on_all_workloads():
 def test_stride_offline_falls_back_when_table_overflows():
     trace = generate("random_walk", 600, seed=9)
     small = StridePrefetcher(max_entries=2)
-    assert small.offline_candidates(trace, 2, 0) is None
-    # default dispatch silently falls back to streaming...
-    fallback = simulate(trace, StridePrefetcher(max_entries=2))
+    with pytest.warns(RuntimeWarning, match="falling back"):
+        assert small.offline_candidates(trace, 2, 0) is None
+    assert small.fallback  # latched for bench reporting
+    # default dispatch falls back to streaming (loudly: it warns)...
+    with pytest.warns(RuntimeWarning, match="falling back"):
+        fallback = simulate(trace, StridePrefetcher(max_entries=2))
     slow = simulate(trace, StridePrefetcher(max_entries=2), use_kernel=False)
     assert fallback == slow
     # ...but a forced kernel refuses
-    with pytest.raises(ValueError, match="use_kernel=True"):
-        simulate(trace, StridePrefetcher(max_entries=2), use_kernel=True)
+    with pytest.warns(RuntimeWarning, match="falling back"):
+        with pytest.raises(ValueError, match="use_kernel=True"):
+            simulate(trace, StridePrefetcher(max_entries=2), use_kernel=True)
 
 
 def test_forced_kernel_rejects_streaming_only_prefetcher():

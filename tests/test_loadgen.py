@@ -1,0 +1,220 @@
+"""Load-generator tests: stream multiplexing, report merge, CLI gates."""
+
+import json
+
+import numpy as np
+import pytest
+
+from voyager.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchProfile,
+    load_report,
+    preserve_serving,
+    run_bench,
+    strip_timing_fields,
+    validate_report,
+    validate_serving,
+    write_bench,
+)
+from voyager.loadgen import (
+    LoadGenConfig,
+    attach_serving,
+    mixed_training_trace,
+    run_loadgen,
+    serve_trace,
+    stream_traces,
+)
+from voyager.sim import SimConfig
+from voyager.synthetic import page_cycle_trace
+
+TINY = BenchProfile(
+    name="tiny",
+    trace_length=300,
+    train_steps=10,
+    embed_dim=8,
+    hidden_dim=16,
+    workloads=("stride", "page_cycle"),
+    sim=SimConfig(degree=2, distance=4, latency=4),
+)
+
+TINY_LOAD = LoadGenConfig(streams=3, accesses_per_stream=40)
+
+
+@pytest.fixture(scope="module")
+def serving():
+    return run_loadgen(TINY, TINY_LOAD, seed=0)
+
+
+def test_mixed_training_trace_covers_all_workloads():
+    trace = mixed_training_trace(TINY, seed=0)
+    assert len(trace) == 2 * (300 // 2)
+    pages = {a.page for a in trace}
+    assert len(pages) > 1  # more than one workload's page range
+
+
+def test_stream_traces_shapes_and_determinism():
+    traces = stream_traces(TINY, TINY_LOAD, seed=0)
+    assert len(traces) == 3
+    assert all(len(t) == 40 for t in traces)
+    again = stream_traces(TINY, TINY_LOAD, seed=0)
+    assert traces == again
+    # seed sensitivity only shows on a randomised generator
+    randomised = BenchProfile(
+        name="rw",
+        trace_length=300,
+        train_steps=10,
+        embed_dim=8,
+        hidden_dim=16,
+        workloads=("random_walk",),
+    )
+    assert stream_traces(randomised, TINY_LOAD, seed=0) != stream_traces(
+        randomised, TINY_LOAD, seed=1
+    )
+    # two streams of the same randomised workload also differ
+    rw = stream_traces(randomised, TINY_LOAD, seed=0)
+    assert rw[0] != rw[1]
+
+
+def test_loadgen_config_validation():
+    with pytest.raises(ValueError, match="streams"):
+        LoadGenConfig(streams=0)
+    with pytest.raises(ValueError, match="accesses_per_stream"):
+        LoadGenConfig(accesses_per_stream=0)
+
+
+def test_serving_section_shape_and_equivalence(serving):
+    assert validate_serving(serving) == []
+    assert serving["responses_equal_serial"] is True
+    assert serving["streams"] == 3
+    assert serving["total_accesses"] == 120
+    assert serving["speedup_vs_serial"] > 0
+    assert serving["throughput_accesses_per_s"] > 0
+    stats = serving["stats"]
+    assert stats["requests"] == 120
+    assert stats["responses"] == 120
+    assert stats["shed"] == 0
+
+
+def test_validate_serving_flags_problems(serving):
+    assert validate_serving("nope") == ["serving: expected a dict"]
+    broken = json.loads(json.dumps(serving))
+    broken["responses_equal_serial"] = False
+    assert any("responses_equal_serial" in p for p in validate_serving(broken))
+    missing = json.loads(json.dumps(serving))
+    del missing["speedup_vs_serial"]
+    assert any("speedup_vs_serial" in p for p in validate_serving(missing))
+    assert any("streams" in p for p in validate_serving({}))
+
+
+def test_attach_serving_creates_skeleton(serving, tmp_path):
+    out = tmp_path / "BENCH_voyager.json"
+    path, report = attach_serving(serving, out)
+    assert path == out
+    loaded = json.loads(out.read_text())
+    assert loaded["schema_version"] == BENCH_SCHEMA_VERSION
+    assert validate_serving(loaded["serving"]) == []
+    # floats were rounded at serialisation
+    speedup = loaded["serving"]["speedup_vs_serial"]
+    assert speedup == round(speedup, 6)
+
+
+def test_attach_serving_preserves_existing_sweep(serving, tmp_path):
+    out = tmp_path / "BENCH_voyager.json"
+    report = run_bench(TINY, seed=0)
+    write_bench(report, out)
+    attach_serving(serving, out)
+    merged = load_report(out)
+    assert validate_report(merged) == []
+    assert set(merged["workloads"]) == {"stride", "page_cycle"}
+    assert merged["serving"]["streams"] == 3
+    # ...and a fresh sweep write preserves the serving section back
+    rewritten = preserve_serving(run_bench(TINY, seed=0), out)
+    write_bench(rewritten, out)
+    assert load_report(out)["serving"]["streams"] == 3
+
+
+def test_serving_is_a_timing_section(serving, tmp_path):
+    out = tmp_path / "BENCH_voyager.json"
+    report = run_bench(TINY, seed=0)
+    write_bench(report, out)
+    _, merged = attach_serving(serving, out)
+    assert "serving" not in strip_timing_fields(merged)
+    assert strip_timing_fields(merged) == strip_timing_fields(report)
+
+
+def test_serve_trace_round_robin():
+    trace = page_cycle_trace(20)
+    from voyager.bench import _train_neural
+
+    neural = _train_neural(trace, TINY, seed=0)
+    elapsed, candidates, stats = serve_trace(
+        neural.model, neural.pc_vocab, neural.page_vocab, trace, streams=4
+    )
+    assert elapsed > 0
+    assert len(candidates) == 4
+    assert sum(len(c) for c in candidates) == 20
+    assert stats["responses"] == 20
+    # more streams than accesses: empty streams are dropped
+    _, few, _ = serve_trace(
+        neural.model, neural.pc_vocab, neural.page_vocab, trace[:2], streams=4
+    )
+    assert len(few) == 2
+
+
+def test_main_entry_point_runs_and_gates(tmp_path, capsys, monkeypatch):
+    import voyager.bench as bench_mod
+    import voyager.loadgen as loadgen_mod
+
+    monkeypatch.setattr(bench_mod, "SMOKE_PROFILE", TINY)
+    out = tmp_path / "BENCH_voyager.json"
+    rc = loadgen_mod.main(
+        [
+            "--profile",
+            "smoke",
+            "--streams",
+            "3",
+            "--accesses",
+            "40",
+            "--out",
+            str(out),
+            "--min-speedup",
+            "0.01",
+        ]
+    )
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "speedup" in captured.out
+    loaded = json.loads(out.read_text())
+    assert validate_serving(loaded["serving"]) == []
+
+    rc = loadgen_mod.main(
+        [
+            "--profile",
+            "smoke",
+            "--streams",
+            "3",
+            "--accesses",
+            "40",
+            "--out",
+            str(out),
+            "--min-speedup",
+            "1e9",
+            "--min-throughput",
+            "1e18",
+        ]
+    )
+    assert rc == 1
+    err = capsys.readouterr().err
+    assert "below --min-speedup" in err
+    assert "below --min-throughput" in err
+
+
+def test_float32_run_also_matches_serial():
+    serving = run_loadgen(
+        TINY,
+        LoadGenConfig(streams=2, accesses_per_stream=20),
+        seed=0,
+        dtype=np.float32,
+    )
+    assert serving["dtype"] == "float32"
+    assert serving["responses_equal_serial"] is True

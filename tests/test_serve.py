@@ -1,0 +1,400 @@
+"""Serving-layer tests: micro-batch equivalence, eviction, backpressure.
+
+The tentpole contract: N interleaved streams through the
+micro-batching scheduler produce **bit-identical** per-stream results —
+recurrent states, top-k ids and candidate blocks — to N independent,
+serially driven :class:`~voyager.infer.InferenceEngine` instances, in
+float64 and float32.  The hypothesis property tests drive that over
+random models, stream counts and interleavings; the unit tests cover
+the operational envelope (LRU eviction, shed policies, cold starts,
+batch accounting, injected-clock latency percentiles).
+"""
+
+import json
+from collections import deque
+
+import numpy as np
+import pytest
+
+from voyager.baselines import next_line_candidates
+from voyager.infer import InferenceEngine
+from voyager.model import HierarchicalModel, ModelConfig
+from voyager.serve import (
+    SOURCE_COLD,
+    SOURCE_NEURAL,
+    SOURCE_ORPHANED,
+    SOURCE_SHED,
+    PrefetchServer,
+    ServeConfig,
+)
+from voyager.sim import decode_block_candidates, page_id_table
+from voyager.traces import NUM_OFFSETS, MemoryAccess, join_address
+from voyager.vocab import Vocab
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+PCS = [0x400000 + 4 * i for i in range(6)]
+PAGES = [512 + 3 * i for i in range(8)]
+HISTORY = 3
+DEGREE = 2
+
+
+def serving_setup(model_seed: int = 1):
+    """Tiny model + frozen vocabs sized to each other."""
+    pc_vocab = Vocab(cap=len(PCS) + 1).fit(PCS)
+    page_vocab = Vocab(cap=len(PAGES) + 1).fit(PAGES)
+    model = HierarchicalModel(
+        ModelConfig(
+            pc_vocab_size=pc_vocab.size,
+            page_vocab_size=page_vocab.size,
+            num_offsets=NUM_OFFSETS,
+            embed_dim=3,
+            hidden_dim=4,
+            history=HISTORY,
+            attention_candidates=2,
+            seed=model_seed,
+        )
+    )
+    return model, pc_vocab, page_vocab
+
+
+def random_access(rng) -> MemoryAccess:
+    return MemoryAccess.from_pc_address(
+        int(rng.choice(PCS)),
+        join_address(int(rng.choice(PAGES)), int(rng.integers(0, NUM_OFFSETS))),
+    )
+
+
+class SerialStream:
+    """Reference: one engine driven access by access, batch width 1.
+
+    Mirrors exactly the per-access work the server performs — embed,
+    cell step, window-replay rollout, candidate decode — with no
+    cross-stream batching anywhere.
+    """
+
+    def __init__(self, model, pc_vocab, page_vocab, dtype):
+        self.engine = InferenceEngine(model, dtype=dtype)
+        self.pc_vocab = pc_vocab
+        self.page_vocab = page_vocab
+        self.table = page_id_table(page_vocab)
+        self.state = self.engine.init_state(1)
+        self.pc_ids = deque(maxlen=HISTORY)
+        self.feats = deque(maxlen=HISTORY)
+
+    def access(self, access: MemoryAccess):
+        pid = np.array([self.pc_vocab.encode(access.pc)], dtype=np.int64)
+        gid = np.array([self.page_vocab.encode(access.page)], dtype=np.int64)
+        oid = np.array([access.offset], dtype=np.int64)
+        feat = self.engine.feature_step(pid, gid, oid)
+        self.state = self.engine.step_from_features(self.state, feat)
+        self.pc_ids.append(int(pid[0]))
+        self.feats.append(feat[0])
+        if len(self.feats) < HISTORY:
+            return []
+        pages, offsets, valid = self.engine.rollout_window(
+            np.stack(self.feats)[None],
+            np.array([self.pc_ids[-1]], dtype=np.int64),
+            DEGREE,
+        )
+        return decode_block_candidates(
+            self.table, pages[0], offsets[0], valid[0], DEGREE
+        )
+
+    def topk(self, k: int):
+        pages, offsets = self.engine.predict_topk(self.state, k)
+        return pages[0], offsets[0]
+
+
+# ----------------------------------------------------------------------
+# tentpole property: batched == serial, bit for bit, per stream
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("dtype", [np.float64, np.float32])
+@settings(max_examples=12, deadline=None)
+@given(
+    model_seed=st.integers(min_value=0, max_value=30),
+    data_seed=st.integers(min_value=0, max_value=1_000_000),
+    n_streams=st.integers(min_value=1, max_value=4),
+    rounds=st.integers(min_value=3, max_value=8),
+)
+def test_interleaved_streams_match_independent_engines(
+    dtype, model_seed, data_seed, n_streams, rounds
+):
+    """Micro-batched serving == N independent engines (states, top-k,
+    candidates), including streams that submit multiple accesses per
+    tick (multi-wave batching)."""
+    model, pc_vocab, page_vocab = serving_setup(model_seed)
+    server = PrefetchServer(
+        model,
+        pc_vocab,
+        page_vocab,
+        ServeConfig(degree=DEGREE, max_batch=64),
+        dtype=dtype,
+    )
+    sids = [server.open_stream() for _ in range(n_streams)]
+    serial = [
+        SerialStream(model, pc_vocab, page_vocab, dtype)
+        for _ in range(n_streams)
+    ]
+    rng = np.random.default_rng(data_seed)
+    for _ in range(rounds):
+        expected = {}
+        for i, sid in enumerate(sids):
+            # 1-2 accesses per stream per tick exercises the wave
+            # decomposition, not just single-wave batching.
+            for _ in range(int(rng.integers(1, 3))):
+                access = random_access(rng)
+                seq = server.submit(sid, access.pc, access.address)
+                expected[seq] = (i, serial[i].access(access))
+        responses = server.tick()
+        assert sorted(r.seq for r in responses) == sorted(expected)
+        for response in responses:
+            i, ref_candidates = expected[response.seq]
+            assert response.stream_id == sids[i]
+            if response.source == SOURCE_NEURAL:
+                assert response.candidates == ref_candidates
+            else:
+                assert response.source == SOURCE_COLD
+                assert ref_candidates == []
+        for i, sid in enumerate(sids):
+            state = server.session_state(sid)
+            np.testing.assert_array_equal(state.h, serial[i].state.h)
+            np.testing.assert_array_equal(state.c, serial[i].state.c)
+            pages, offsets = server.topk(sid, 3)
+            ref_pages, ref_offsets = serial[i].topk(3)
+            np.testing.assert_array_equal(pages, ref_pages)
+            np.testing.assert_array_equal(offsets, ref_offsets)
+
+
+def test_server_is_deterministic_across_instances():
+    """Same schedule, same accesses -> bit-identical responses."""
+    model, pc_vocab, page_vocab = serving_setup()
+    runs = []
+    for _ in range(2):
+        server = PrefetchServer(model, pc_vocab, page_vocab)
+        sids = [server.open_stream() for _ in range(3)]
+        rng = np.random.default_rng(7)
+        collected = []
+        for _ in range(6):
+            for sid in sids:
+                access = random_access(rng)
+                server.submit(sid, access.pc, access.address)
+            collected.extend(
+                (r.stream_id, r.seq, r.source, r.candidates)
+                for r in server.tick()
+            )
+        runs.append(collected)
+    assert runs[0] == runs[1]
+
+
+# ----------------------------------------------------------------------
+# session lifecycle: capacity, LRU eviction, orphans
+# ----------------------------------------------------------------------
+def test_open_stream_auto_ids_and_duplicate_rejection():
+    model, pc_vocab, page_vocab = serving_setup()
+    server = PrefetchServer(model, pc_vocab, page_vocab)
+    assert server.open_stream() == "s0"
+    assert server.open_stream() == "s1"
+    assert server.open_stream("core3") == "core3"
+    with pytest.raises(ValueError, match="already open"):
+        server.open_stream("core3")
+    assert server.open_streams == ["s0", "s1", "core3"]
+
+
+def test_lru_eviction_at_capacity():
+    model, pc_vocab, page_vocab = serving_setup()
+    server = PrefetchServer(
+        model, pc_vocab, page_vocab, ServeConfig(max_sessions=2)
+    )
+    server.open_stream("a")
+    server.open_stream("b")
+    # touching "a" makes "b" the LRU victim
+    access = random_access(np.random.default_rng(0))
+    server.submit("a", access.pc, access.address)
+    server.tick()
+    server.open_stream("c")
+    assert server.open_streams == ["a", "c"]
+    assert server.stats.evicted == 1
+    with pytest.raises(KeyError):
+        server.submit("b", access.pc, access.address)
+
+
+def test_evicted_streams_pending_request_resolves_orphaned():
+    model, pc_vocab, page_vocab = serving_setup()
+    server = PrefetchServer(model, pc_vocab, page_vocab)
+    server.open_stream("a")
+    access = random_access(np.random.default_rng(1))
+    seq = server.submit("a", access.pc, access.address)
+    server.close_stream("a")
+    (response,) = server.tick()
+    assert response.seq == seq
+    assert response.source == SOURCE_ORPHANED
+    assert response.candidates == next_line_candidates(access.block, 2)
+    assert server.stats.orphaned == 1
+
+
+def test_close_stream_unknown_raises():
+    model, pc_vocab, page_vocab = serving_setup()
+    server = PrefetchServer(model, pc_vocab, page_vocab)
+    with pytest.raises(KeyError):
+        server.close_stream("nope")
+
+
+# ----------------------------------------------------------------------
+# backpressure: shed policies keep state exact
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("policy", ["next_line", "drop"])
+def test_shed_requests_degrade_but_still_update_state(policy):
+    model, pc_vocab, page_vocab = serving_setup()
+    server = PrefetchServer(
+        model,
+        pc_vocab,
+        page_vocab,
+        ServeConfig(degree=DEGREE, max_pending=1, shed_policy=policy),
+    )
+    server.open_stream("a")
+    serial = SerialStream(model, pc_vocab, page_vocab, np.float64)
+    rng = np.random.default_rng(5)
+    accesses = [random_access(rng) for _ in range(4)]
+    for access in accesses:
+        server.submit("a", access.pc, access.address)
+        serial.access(access)
+    responses = server.tick()
+    assert [r.source == SOURCE_SHED for r in responses] == [
+        False,
+        True,
+        True,
+        True,
+    ]
+    assert server.stats.shed == 3
+    for response in responses[1:]:
+        if policy == "next_line":
+            block = accesses[response.seq].block
+            assert response.candidates == next_line_candidates(block, DEGREE)
+        else:
+            assert response.candidates == []
+    # shed requests still advanced the recurrent state exactly
+    state = server.session_state("a")
+    np.testing.assert_array_equal(state.h, serial.state.h)
+    np.testing.assert_array_equal(state.c, serial.state.c)
+
+
+def test_cold_streams_return_empty_neural_candidates():
+    model, pc_vocab, page_vocab = serving_setup()
+    server = PrefetchServer(model, pc_vocab, page_vocab)
+    server.open_stream("a")
+    rng = np.random.default_rng(2)
+    for i in range(HISTORY):
+        access = random_access(rng)
+        response = server.access("a", access.pc, access.address)
+        if i < HISTORY - 1:
+            assert response.source == SOURCE_COLD
+            assert response.candidates == []
+        else:
+            assert response.source == SOURCE_NEURAL
+    assert server.stats.cold == HISTORY - 1
+    assert server.stats.neural == 1
+
+
+# ----------------------------------------------------------------------
+# batching and accounting
+# ----------------------------------------------------------------------
+def test_max_batch_splits_ticks():
+    model, pc_vocab, page_vocab = serving_setup()
+    server = PrefetchServer(
+        model, pc_vocab, page_vocab, ServeConfig(max_batch=2)
+    )
+    server.open_stream("a")
+    rng = np.random.default_rng(3)
+    for _ in range(3):
+        access = random_access(rng)
+        server.submit("a", access.pc, access.address)
+    assert server.pending == 3
+    assert len(server.tick()) == 2
+    assert server.pending == 1
+    assert len(server.tick()) == 1
+    assert server.tick() == []
+    assert server.stats.batch_size_hist == {2: 1, 1: 1}
+    assert server.stats.ticks == 2
+
+
+def test_access_and_poll_buffer_other_streams_responses():
+    model, pc_vocab, page_vocab = serving_setup()
+    server = PrefetchServer(model, pc_vocab, page_vocab)
+    server.open_stream("a")
+    server.open_stream("b")
+    rng = np.random.default_rng(4)
+    other = random_access(rng)
+    server.submit("b", other.pc, other.address)
+    mine = random_access(rng)
+    response = server.access("a", mine.pc, mine.address)
+    assert response.stream_id == "a"
+    buffered = server.poll()
+    assert [r.stream_id for r in buffered] == ["b"]
+    assert server.poll() == []
+
+
+def test_latency_percentiles_with_injected_clock():
+    model, pc_vocab, page_vocab = serving_setup()
+    ticks = iter(float(i) for i in range(100))
+    server = PrefetchServer(
+        model, pc_vocab, page_vocab, clock=lambda: next(ticks)
+    )
+    server.open_stream("a")
+    rng = np.random.default_rng(6)
+    for _ in range(2):  # submitted at t=0 and t=1
+        access = random_access(rng)
+        server.submit("a", access.pc, access.address)
+    server.tick()  # resolved at t=2 -> latencies 2.0 and 1.0
+    latency = server.stats.latency_percentiles()
+    assert latency["count"] == 2
+    assert latency["p50_s"] == 1.0  # nearest-rank: ceil(0.5 * 2) = 1st
+    assert latency["p95_s"] == 2.0  # ceil(0.95 * 2) = 2nd
+    assert latency["max_s"] == 2.0
+    assert latency["mean_s"] == 1.5
+
+
+def test_stats_snapshot_is_json_safe():
+    model, pc_vocab, page_vocab = serving_setup()
+    server = PrefetchServer(model, pc_vocab, page_vocab)
+    server.open_stream("a")
+    rng = np.random.default_rng(8)
+    for _ in range(HISTORY + 1):
+        access = random_access(rng)
+        server.access("a", access.pc, access.address)
+    snapshot = server.stats.snapshot()
+    assert json.loads(json.dumps(snapshot)) is not None
+    assert snapshot["requests"] == HISTORY + 1
+    assert snapshot["responses"] == HISTORY + 1
+    assert snapshot["latency"]["count"] == HISTORY + 1
+
+
+def test_empty_tick_is_a_noop():
+    model, pc_vocab, page_vocab = serving_setup()
+    server = PrefetchServer(model, pc_vocab, page_vocab)
+    assert server.tick() == []
+    assert server.stats.ticks == 0
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"degree": 0},
+        {"max_sessions": 0},
+        {"max_pending": 0},
+        {"max_batch": 0},
+        {"shed_policy": "panic"},
+    ],
+)
+def test_serve_config_validation(kwargs):
+    with pytest.raises(ValueError):
+        ServeConfig(**kwargs)
+
+
+def test_submit_to_unknown_stream_raises():
+    model, pc_vocab, page_vocab = serving_setup()
+    server = PrefetchServer(model, pc_vocab, page_vocab)
+    with pytest.raises(KeyError):
+        server.submit("ghost", PCS[0], join_address(PAGES[0], 0))
