@@ -1,11 +1,17 @@
 """Benchmark runner: synthetic workloads x prefetchers -> BENCH_voyager.json.
 
 Sweeps every synthetic workload against the next-line and stride
-baselines plus a freshly trained neural model, simulating each with
-:func:`voyager.sim.simulate` under one shared issue policy, and writes
-a schema-versioned JSON report to the repo root (or ``--out``).  The
-report is the cross-PR benchmark trajectory ROADMAP asks for: CI runs
-the smoke profile and archives the file as a build artifact.
+baselines, a freshly trained neural model, and the distilled lookup
+table compiled from that same model (:mod:`voyager.distill`),
+simulating each with :func:`voyager.sim.simulate` under one shared
+issue policy, and writes a schema-versioned JSON report to the repo
+root (or ``--out``).  The report is the cross-PR benchmark trajectory
+ROADMAP asks for: CI runs the smoke profile and archives the file as a
+build artifact.  ``--distill-frontier`` additionally sweeps the
+table-size x context-depth latency/quality frontier per workload into
+a ``distill`` section, and the ``--min-table-speedup`` /
+``--max-table-coverage-drop`` flags gate the grid's table-vs-neural
+cells in CI.
 
 The (workload x prefetcher) grid is embarrassingly parallel — each
 cell derives its own seed from the top-level seed (so no RNG state is
@@ -46,6 +52,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from voyager import synthetic
+from voyager.distill import DistillConfig, build_table, depth_chain
 from voyager.ioutil import atomic_write_text
 from voyager.labeling import LabelConfig
 from voyager.model import HierarchicalModel, ModelConfig
@@ -57,13 +64,18 @@ from voyager.train import build_dataset, train
 #: ``cpu_s`` and ``jobs``; optional per-cell ``phases``.
 #: v3: stride cells record ``stride_fallback``; optional top-level
 #: ``serving`` section written by ``voyager.loadgen`` (serve-bench).
-BENCH_SCHEMA_VERSION = 3
+#: v4: the grid sweeps a fourth prefetcher, ``table`` (the distilled
+#: lookup-table predictor; its cells add ``distill_s``,
+#: ``table_entries`` and ``table_hit_rate``), and an optional top-level
+#: ``distill`` section carries the table-size x context-depth
+#: latency/quality frontier written by ``--distill-frontier``.
+BENCH_SCHEMA_VERSION = 4
 
 #: Canonical report filename at the repo root.
 BENCH_FILENAME = "BENCH_voyager.json"
 
 #: Prefetchers every bench run sweeps.
-PREFETCHERS = ("next_line", "stride", "neural")
+PREFETCHERS = ("next_line", "stride", "neural", "table")
 
 
 @dataclass(frozen=True)
@@ -86,6 +98,20 @@ class BenchProfile:
     sim: SimConfig = field(
         default_factory=lambda: SimConfig(degree=2, distance=8, latency=8)
     )
+    #: Distilled-table knobs for the grid's ``table`` cells: the
+    #: maximum context depth (the chain is ``depth, depth-1, ..., 1``)
+    #: and the per-depth context cap.  ``top_k`` is always sized to the
+    #: issue policy's ``degree + distance`` lookahead.
+    distill_depth: int = 4
+    distill_table_size: int = 4096
+
+    def distill_config(self) -> DistillConfig:
+        """The distillation pass the grid's ``table`` cells run."""
+        return DistillConfig(
+            depths=depth_chain(self.distill_depth),
+            table_size=self.distill_table_size,
+            top_k=max(1, self.sim.degree + self.sim.distance),
+        )
 
 
 SMOKE_PROFILE = BenchProfile(
@@ -151,8 +177,24 @@ def bench_cell(
     cell_seed = derive_cell_seed(seed, workload)
     trace = synthetic.generate(workload, profile.trace_length, seed=cell_seed)
     start = time.perf_counter()
+    distill_s = None
     if kind == "neural":
         prefetcher = _train_neural(trace, profile, cell_seed)
+    elif kind == "table":
+        # Same derived seed as the neural cell, so the table distills
+        # exactly the model the neural cell simulates — the coverage
+        # delta between the two cells is the distillation cost alone.
+        neural = _train_neural(trace, profile, cell_seed)
+        distill_start = time.perf_counter()
+        table = build_table(
+            neural.model,
+            neural.pc_vocab,
+            neural.page_vocab,
+            trace,
+            profile.distill_config(),
+        )
+        distill_s = time.perf_counter() - distill_start
+        prefetcher = make_prefetcher("table", table=table)
     else:
         prefetcher = make_prefetcher(kind)
     trained = time.perf_counter()
@@ -160,9 +202,17 @@ def bench_cell(
     done = time.perf_counter()
     entry = sim.as_dict()
     del entry["prefetcher"]  # redundant with the dict key
+    # ``train_s`` is "time to produce the prefetcher": model training
+    # for the neural cell, training + table compilation for the table
+    # cell (``distill_s`` breaks out the compilation share), zero for
+    # the table baselines — so ``cpu_s == train_s + sim_s`` everywhere.
     entry["train_s"] = trained - start
     entry["sim_s"] = done - trained
     entry["cpu_s"] = entry["train_s"] + entry["sim_s"]
+    if kind == "table":
+        entry["distill_s"] = distill_s
+        entry["table_entries"] = prefetcher.table.total_entries
+        entry["table_hit_rate"] = prefetcher.hit_rate
     if kind == "stride":
         # Latched by StridePrefetcher.offline_candidates when the trace
         # overflows the table and the sim fell back to streaming mode —
@@ -246,12 +296,12 @@ def run_bench(
 
 
 #: Per-cell keys that describe *when/how fast*, not *what happened*.
-CELL_TIMING_FIELDS = ("train_s", "sim_s", "cpu_s", "phases")
+CELL_TIMING_FIELDS = ("train_s", "sim_s", "cpu_s", "phases", "distill_s")
 
 #: Top-level keys that vary between runs of identical sweeps.  The
-#: ``serving`` section is all throughput/latency measurement, so it is
-#: stripped wholesale.
-REPORT_TIMING_FIELDS = ("elapsed_s", "cpu_s", "jobs", "serving")
+#: ``serving`` and ``distill`` sections are throughput/latency
+#: measurement through and through, so they are stripped wholesale.
+REPORT_TIMING_FIELDS = ("elapsed_s", "cpu_s", "jobs", "serving", "distill")
 
 
 def strip_timing_fields(report: Dict[str, Any]) -> Dict[str, Any]:
@@ -301,7 +351,48 @@ def _rounded_for_json(report: Dict[str, Any]) -> Dict[str, Any]:
                 entry["phases"] = {
                     k: round(v, 6) for k, v in entry["phases"].items()
                 }
+            if isinstance(entry.get("distill_s"), float):
+                entry["distill_s"] = round(entry["distill_s"], 3)
             workloads[workload][kind] = entry
+    out["workloads"] = workloads
+    if isinstance(out.get("distill"), dict):
+        out["distill"] = _rounded_distill(out["distill"])
+    return out
+
+
+def _rounded_distill(distill: Dict[str, Any]) -> Dict[str, Any]:
+    """Round the ``distill`` section's timing fields for serialisation.
+
+    Simulated table traversals run in milliseconds, so their timings
+    keep 6 decimals (3 would quantise them to zero and wreck the
+    recorded speedups).
+    """
+    out = dict(distill)
+    if isinstance(out.get("elapsed_s"), float):
+        out["elapsed_s"] = round(out["elapsed_s"], 3)
+    workloads = {}
+    for workload, entry in distill.get("workloads", {}).items():
+        entry = dict(entry)
+        if isinstance(entry.get("neural"), dict):
+            neural = dict(entry["neural"])
+            for key in ("sim_s", "train_s"):
+                if isinstance(neural.get(key), float):
+                    neural[key] = round(neural[key], 6)
+            entry["neural"] = neural
+        if isinstance(entry.get("cells"), list):
+            cells = []
+            for cell in entry["cells"]:
+                cell = dict(cell)
+                for key in ("sim_s", "build_s"):
+                    if isinstance(cell.get(key), float):
+                        cell[key] = round(cell[key], 6)
+                if isinstance(cell.get("speedup_vs_neural"), float):
+                    cell["speedup_vs_neural"] = round(
+                        cell["speedup_vs_neural"], 2
+                    )
+                cells.append(cell)
+            entry["cells"] = cells
+        workloads[workload] = entry
     out["workloads"] = workloads
     return out
 
@@ -322,20 +413,43 @@ def load_report(path: Union[str, Path]) -> Optional[Dict[str, Any]]:
     return loaded if isinstance(loaded, dict) else None
 
 
+#: Sections that different writers of ``BENCH_voyager.json`` own: the
+#: grid sweep owns the top level, serve-bench owns ``serving``, the
+#: frontier sweep owns ``distill``.  Each writer carries the others'
+#: sections forward on rewrite.
+PRESERVED_SECTIONS = ("serving", "distill")
+
+
+def preserve_sections(
+    report: Dict[str, Any],
+    path: Union[str, Path],
+    sections: Sequence[str] = PRESERVED_SECTIONS,
+) -> Dict[str, Any]:
+    """Carry an existing file's named sections into ``report``.
+
+    The sweep, the serve-bench and the frontier sweep write the same
+    file but own disjoint sections; each preserves the others' on
+    rewrite (serve-bench does its mirror image in
+    :mod:`voyager.loadgen`).  Sections already present in ``report``
+    win — a fresh measurement always beats a stale one.
+    """
+    previous = load_report(path)
+    if previous is None:
+        return report
+    out = report
+    for section in sections:
+        if section in previous and section not in out:
+            if out is report:
+                out = dict(report)
+            out[section] = previous[section]
+    return out
+
+
 def preserve_serving(
     report: Dict[str, Any], path: Union[str, Path]
 ) -> Dict[str, Any]:
-    """Carry an existing file's ``serving`` section into ``report``.
-
-    The sweep and the serve-bench write the same file but own disjoint
-    sections; each preserves the other's on rewrite (serve-bench does
-    the mirror image in :mod:`voyager.loadgen`).
-    """
-    previous = load_report(path)
-    if previous is not None and "serving" in previous and "serving" not in report:
-        report = dict(report)
-        report["serving"] = previous["serving"]
-    return report
+    """Back-compat wrapper: preserve only the ``serving`` section."""
+    return preserve_sections(report, path, sections=("serving",))
 
 
 def write_bench(
@@ -404,6 +518,8 @@ def validate_report(report: Dict[str, Any]) -> List[str]:
         problems.append("missing top-level jobs")
     if "serving" in report:
         problems += validate_serving(report["serving"])
+    if "distill" in report:
+        problems += validate_distill(report["distill"])
     return problems
 
 
@@ -428,6 +544,181 @@ def validate_serving(serving: Any) -> List[str]:
     return problems
 
 
+#: Frontier sweep defaults: the table-size x context-depth grid the
+#: ``--distill-frontier`` flag walks per workload.
+FRONTIER_TABLE_SIZES = (256, 1024, 4096)
+FRONTIER_DEPTHS = (1, 2, 4)
+
+
+def run_distill_frontier(
+    profile: BenchProfile = SMOKE_PROFILE,
+    seed: int = 0,
+    table_sizes: Sequence[int] = FRONTIER_TABLE_SIZES,
+    depths: Sequence[int] = FRONTIER_DEPTHS,
+) -> Dict[str, Any]:
+    """Sweep the distillation latency/quality frontier.
+
+    Per workload: train the neural model once (same derived seed as the
+    grid, so the frontier's reference point is the grid's neural cell),
+    simulate it as the reference, then build and simulate one distilled
+    table per ``(table_size, depth)`` grid point.  Each frontier cell
+    records the quality (coverage/accuracy plus ``coverage_delta`` =
+    neural coverage minus table coverage, in points) and the latency
+    side (``sim_s``, ``build_s``, ``speedup_vs_neural`` =
+    neural ``sim_s`` / table ``sim_s``) along with the table's actual
+    entry count and context hit rate.  Returns the report's ``distill``
+    section.
+    """
+    started = time.perf_counter()
+    top_k = max(1, profile.sim.degree + profile.sim.distance)
+    workloads: Dict[str, Any] = {}
+    for workload in profile.workloads:
+        cell_seed = derive_cell_seed(seed, workload)
+        trace = synthetic.generate(
+            workload, profile.trace_length, seed=cell_seed
+        )
+        train_start = time.perf_counter()
+        neural = _train_neural(trace, profile, cell_seed)
+        train_s = time.perf_counter() - train_start
+        sim_start = time.perf_counter()
+        neural_sim = simulate(trace, neural, profile.sim)
+        neural_sim_s = time.perf_counter() - sim_start
+        cells: List[Dict[str, Any]] = []
+        for table_size in table_sizes:
+            for depth in depths:
+                config = DistillConfig(
+                    depths=depth_chain(depth),
+                    table_size=table_size,
+                    top_k=top_k,
+                )
+                build_start = time.perf_counter()
+                table = build_table(
+                    neural.model,
+                    neural.pc_vocab,
+                    neural.page_vocab,
+                    trace,
+                    config,
+                )
+                build_s = time.perf_counter() - build_start
+                prefetcher = make_prefetcher("table", table=table)
+                sim_start = time.perf_counter()
+                table_sim = simulate(trace, prefetcher, profile.sim)
+                sim_s = time.perf_counter() - sim_start
+                cells.append(
+                    {
+                        "table_size": table_size,
+                        "depth": depth,
+                        "coverage": table_sim.coverage,
+                        "accuracy": table_sim.accuracy,
+                        "coverage_delta": neural_sim.coverage
+                        - table_sim.coverage,
+                        "sim_s": sim_s,
+                        "build_s": build_s,
+                        "speedup_vs_neural": (
+                            neural_sim_s / sim_s if sim_s > 0 else float("inf")
+                        ),
+                        "entries": table.total_entries,
+                        "hit_rate": prefetcher.hit_rate,
+                    }
+                )
+        workloads[workload] = {
+            "neural": {
+                "coverage": neural_sim.coverage,
+                "accuracy": neural_sim.accuracy,
+                "sim_s": neural_sim_s,
+                "train_s": train_s,
+            },
+            "cells": cells,
+        }
+    return {
+        "profile": profile.name,
+        "seed": seed,
+        "table_sizes": list(table_sizes),
+        "depths": list(depths),
+        "top_k": top_k,
+        "workloads": workloads,
+        "elapsed_s": time.perf_counter() - started,
+    }
+
+
+def validate_distill(distill: Any) -> List[str]:
+    """Shape-check a report's ``distill`` section (empty list = ok)."""
+    if not isinstance(distill, dict):
+        return ["distill: expected a dict"]
+    problems: List[str] = []
+    workloads = distill.get("workloads")
+    if not isinstance(workloads, dict) or not workloads:
+        problems.append("distill: missing workloads")
+        return problems
+    for workload, entry in workloads.items():
+        neural = entry.get("neural")
+        if not isinstance(neural, dict) or not isinstance(
+            neural.get("sim_s"), (int, float)
+        ):
+            problems.append(f"distill/{workload}: missing neural reference")
+        cells = entry.get("cells")
+        if not isinstance(cells, list) or not cells:
+            problems.append(f"distill/{workload}: missing frontier cells")
+            continue
+        for i, cell in enumerate(cells):
+            for key in (
+                "table_size",
+                "depth",
+                "coverage",
+                "coverage_delta",
+                "sim_s",
+                "speedup_vs_neural",
+                "entries",
+                "hit_rate",
+            ):
+                if not isinstance(cell.get(key), (int, float)):
+                    problems.append(
+                        f"distill/{workload}[{i}]: missing {key}"
+                    )
+    return problems
+
+
+def check_distill_budget(
+    report: Dict[str, Any],
+    min_speedup: float,
+    max_coverage_drop: float,
+) -> List[str]:
+    """Distillation gate over the main grid's ``table`` vs ``neural`` cells.
+
+    Two-sided: the table must simulate at least ``min_speedup`` x faster
+    than the neural prefetcher on every workload, *and* give up at most
+    ``max_coverage_drop`` coverage points doing it.  Guards against a
+    regression sneaking in from either direction — a table build that
+    got slow to look good, or one that got fast by answering garbage.
+    """
+    problems: List[str] = []
+    for workload, entries in report.get("workloads", {}).items():
+        neural = entries.get("neural", {})
+        table = entries.get("table", {})
+        neural_sim_s = neural.get("sim_s")
+        table_sim_s = table.get("sim_s")
+        if neural_sim_s is None or table_sim_s is None:
+            problems.append(
+                f"{workload}: missing neural/table sim_s for distill gate"
+            )
+            continue
+        if table_sim_s > 0:
+            speedup = neural_sim_s / table_sim_s
+            if speedup < min_speedup:
+                problems.append(
+                    f"{workload}: table speedup {speedup:.1f}x below "
+                    f"required {min_speedup}x "
+                    f"(neural {neural_sim_s:.4f}s / table {table_sim_s:.4f}s)"
+                )
+        drop = neural.get("coverage", 0.0) - table.get("coverage", 0.0)
+        if drop > max_coverage_drop:
+            problems.append(
+                f"{workload}: table coverage drop {drop:.4f} exceeds "
+                f"allowed {max_coverage_drop}"
+            )
+    return problems
+
+
 def check_sim_budget(
     report: Dict[str, Any], max_neural_sim_s: float
 ) -> List[str]:
@@ -449,6 +740,17 @@ def check_sim_budget(
                 f"{max_neural_sim_s}s"
             )
     return problems
+
+
+def parse_int_list(text: str, flag: str) -> Tuple[int, ...]:
+    """Parse a comma-separated CLI list like ``256,1024`` (>= 1 each)."""
+    try:
+        values = tuple(int(v) for v in text.split(",") if v.strip())
+    except ValueError:
+        raise ValueError(f"{flag}: expected comma-separated integers, got {text!r}")
+    if not values or any(v < 1 for v in values):
+        raise ValueError(f"{flag}: values must be integers >= 1, got {text!r}")
+    return values
 
 
 def _profile_by_name(name: str) -> BenchProfile:
@@ -490,18 +792,67 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="fail (exit 1) if any workload's neural sim_s exceeds this",
     )
+    parser.add_argument(
+        "--distill-frontier",
+        action="store_true",
+        help="also sweep the table-size x depth frontier into 'distill'",
+    )
+    parser.add_argument(
+        "--distill-table-sizes",
+        default=",".join(str(s) for s in FRONTIER_TABLE_SIZES),
+        help="comma-separated table sizes for the frontier sweep",
+    )
+    parser.add_argument(
+        "--distill-depths",
+        default=",".join(str(d) for d in FRONTIER_DEPTHS),
+        help="comma-separated context depths for the frontier sweep",
+    )
+    parser.add_argument(
+        "--min-table-speedup",
+        type=float,
+        default=None,
+        help="fail (exit 1) if any workload's table sim speedup over "
+        "neural is below this factor",
+    )
+    parser.add_argument(
+        "--max-table-coverage-drop",
+        type=float,
+        default=None,
+        help="fail (exit 1) if any workload's table coverage trails "
+        "neural by more than this (in coverage points, e.g. 0.10)",
+    )
     args = parser.parse_args(argv)
 
+    profile = _profile_by_name(args.profile)
     report = run_bench(
-        _profile_by_name(args.profile),
+        profile,
         seed=args.seed,
         jobs=args.jobs,
         profile_sim=args.profile_sim,
     )
+    if args.distill_frontier:
+        report["distill"] = run_distill_frontier(
+            profile,
+            seed=args.seed,
+            table_sizes=parse_int_list(
+                args.distill_table_sizes, "--distill-table-sizes"
+            ),
+            depths=parse_int_list(args.distill_depths, "--distill-depths"),
+        )
     problems = validate_report(report)
     if args.max_neural_sim_s is not None:
         problems += check_sim_budget(report, args.max_neural_sim_s)
-    report = preserve_serving(report, args.out)
+    if args.min_table_speedup is not None or args.max_table_coverage_drop is not None:
+        problems += check_distill_budget(
+            report,
+            min_speedup=args.min_table_speedup or 0.0,
+            max_coverage_drop=(
+                args.max_table_coverage_drop
+                if args.max_table_coverage_drop is not None
+                else float("inf")
+            ),
+        )
+    report = preserve_sections(report, args.out)
     path = write_bench(report, args.out)
     for workload, entries in report["workloads"].items():
         for kind, entry in entries.items():
@@ -512,6 +863,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"train_s={entry['train_s']:.3f} "
                 f"sim_s={entry['sim_s']:.3f}"
             )
+    if args.distill_frontier:
+        for workload, entry in report["distill"]["workloads"].items():
+            for cell in entry["cells"]:
+                print(
+                    f"{workload:12s} table[size={cell['table_size']:5d} "
+                    f"depth={cell['depth']}] "
+                    f"coverage_delta={cell['coverage_delta']:+.4f} "
+                    f"speedup={cell['speedup_vs_neural']:.1f}x "
+                    f"hit_rate={cell['hit_rate']:.3f}"
+                )
     print(
         f"wrote {path} (profile={report['profile']}, jobs={report['jobs']}, "
         f"cpu={report['cpu_s']:.3f}s, wall={report['elapsed_s']:.3f}s)"

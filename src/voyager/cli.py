@@ -1,6 +1,6 @@
 """Command-line entrypoint: ``python -m voyager <subcommand>``.
 
-Four subcommands:
+Subcommands:
 
 - ``gen`` — write a synthetic trace file:
   ``python -m voyager gen stride --out trace.txt -n 2000``
@@ -8,8 +8,13 @@ Four subcommands:
   optionally save a checkpoint:
   ``python -m voyager train --trace trace.txt --save ckpt/model``
 - ``simulate`` — replay a trace through the prefetch simulator with a
-  baseline or a checkpointed neural model:
+  baseline, a checkpointed neural model, or a distilled table
+  (``--prefetcher table --table tables.json``):
   ``python -m voyager simulate --trace trace.txt --checkpoint ckpt/model``
+- ``distill`` — compile a trained checkpoint into context-hashed
+  lookup tables over a trace:
+  ``python -m voyager distill --trace trace.txt --checkpoint ckpt/model
+  --out tables.json``
 - ``bench`` — sweep synthetic workloads x prefetchers and write a
   schema-versioned ``BENCH_voyager.json``:
   ``python -m voyager bench --smoke``
@@ -40,12 +45,25 @@ from voyager.baselines import (
 )
 from voyager.bench import (
     BENCH_FILENAME,
+    FRONTIER_DEPTHS,
+    FRONTIER_TABLE_SIZES,
     FULL_PROFILE,
     SMOKE_PROFILE,
+    parse_int_list,
+    check_distill_budget,
     check_sim_budget,
+    preserve_sections,
     run_bench,
+    run_distill_frontier,
     validate_report,
     write_bench,
+)
+from voyager.distill import (
+    FALLBACKS,
+    DistillConfig,
+    DistilledTable,
+    depth_chain,
+    distill_checkpoint,
 )
 from voyager.eval import evaluate, simulate_model
 from voyager.labeling import LabelConfig
@@ -125,8 +143,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     source.add_argument(
         "--prefetcher",
-        choices=("next_line", "stride", "none"),
-        help="baseline prefetcher ('none' = demand-only cache)",
+        choices=("next_line", "stride", "table", "none"),
+        help="baseline prefetcher, 'table' (distilled lookup table, "
+        "needs --table) or 'none' (demand-only cache)",
+    )
+    sim.add_argument(
+        "--table",
+        help="distilled table file (from the distill subcommand); "
+        "required with --prefetcher table",
     )
     sim.add_argument(
         "--dtype",
@@ -136,6 +160,47 @@ def build_parser() -> argparse.ArgumentParser:
         "training, float32 trades exactness for speed",
     )
     _add_sim_args(sim)
+
+    distill = sub.add_parser(
+        "distill",
+        help="compile a trained checkpoint into lookup tables over a trace",
+    )
+    distill.add_argument(
+        "--trace", required=True, help="pc,address trace file to sweep"
+    )
+    distill.add_argument(
+        "--checkpoint",
+        required=True,
+        help="neural model checkpoint prefix (from train --save)",
+    )
+    distill.add_argument(
+        "--out", required=True, help="output table file (JSON)"
+    )
+    distill.add_argument(
+        "--table-size",
+        type=int,
+        default=4096,
+        help="max contexts kept per depth table (default: 4096)",
+    )
+    distill.add_argument(
+        "--depth",
+        type=int,
+        default=4,
+        help="max context depth; the fallback chain probes depth..1",
+    )
+    distill.add_argument(
+        "--top-k",
+        type=int,
+        default=10,
+        help="rollout steps recorded per context (bounds the simulator's "
+        "degree + distance; default: 10)",
+    )
+    distill.add_argument(
+        "--fallback",
+        choices=FALLBACKS,
+        default="stride",
+        help="answer when every context depth misses (default: stride)",
+    )
 
     bench = sub.add_parser(
         "bench", help="sweep workloads x prefetchers, write BENCH_voyager.json"
@@ -168,6 +233,35 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="fail if any workload's neural sim_s exceeds this budget",
+    )
+    bench.add_argument(
+        "--distill-frontier",
+        action="store_true",
+        help="also sweep the table-size x depth frontier into 'distill'",
+    )
+    bench.add_argument(
+        "--distill-table-sizes",
+        default=",".join(str(s) for s in FRONTIER_TABLE_SIZES),
+        help="comma-separated table sizes for the frontier sweep",
+    )
+    bench.add_argument(
+        "--distill-depths",
+        default=",".join(str(d) for d in FRONTIER_DEPTHS),
+        help="comma-separated context depths for the frontier sweep",
+    )
+    bench.add_argument(
+        "--min-table-speedup",
+        type=float,
+        default=None,
+        help="fail if any workload's table sim speedup over neural is "
+        "below this factor",
+    )
+    bench.add_argument(
+        "--max-table-coverage-drop",
+        type=float,
+        default=None,
+        help="fail if any workload's table coverage trails neural by "
+        "more than this (coverage points, e.g. 0.10)",
     )
 
     serve = sub.add_parser(
@@ -289,8 +383,22 @@ def run_training(args: argparse.Namespace) -> int:
 
 
 def run_simulate(args: argparse.Namespace) -> int:
+    if args.table and args.prefetcher != "table":
+        raise ValueError("--table only makes sense with --prefetcher table")
+    if args.prefetcher == "table" and not args.table:
+        raise ValueError(
+            "--prefetcher table needs --table FILE (build one with "
+            "'python -m voyager distill')"
+        )
     trace = parse_trace(args.trace)
     sim_config = _sim_config(args)
+    if args.prefetcher == "table":
+        table = DistilledTable.load(args.table)
+        result = simulate(
+            trace, make_prefetcher("table", table=table), sim_config
+        )
+        _print_sim_result(result)
+        return 0
     if args.checkpoint:
         model, pc_vocab, page_vocab = load_checkpoint(args.checkpoint)
         result = simulate_model(
@@ -309,18 +417,59 @@ def run_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_distill(args: argparse.Namespace) -> int:
+    trace = parse_trace(args.trace)
+    config = DistillConfig(
+        depths=depth_chain(args.depth),
+        table_size=args.table_size,
+        top_k=args.top_k,
+        fallback=args.fallback,
+    )
+    table, build_s = distill_checkpoint(args.checkpoint, trace, config)
+    path = table.save(args.out)
+    per_depth = " ".join(
+        f"d{depth}={count}" for depth, count in sorted(table.entries.items())
+    )
+    print(
+        f"distilled {len(trace)} accesses into {table.total_entries} "
+        f"entries ({per_depth}) in {build_s:.3f}s"
+    )
+    print(f"wrote {path}")
+    return 0
+
+
 def run_bench_cmd(args: argparse.Namespace) -> int:
     profile = SMOKE_PROFILE if args.smoke or args.profile == "smoke" else FULL_PROFILE
     report = run_bench(
         profile, seed=args.seed, jobs=args.jobs, profile_sim=args.profile_sim
     )
+    if args.distill_frontier:
+        report["distill"] = run_distill_frontier(
+            profile,
+            seed=args.seed,
+            table_sizes=parse_int_list(
+                args.distill_table_sizes, "--distill-table-sizes"
+            ),
+            depths=parse_int_list(args.distill_depths, "--distill-depths"),
+        )
     problems = validate_report(report)
     if args.max_neural_sim_s is not None:
         problems += check_sim_budget(report, args.max_neural_sim_s)
+    if args.min_table_speedup is not None or args.max_table_coverage_drop is not None:
+        problems += check_distill_budget(
+            report,
+            min_speedup=args.min_table_speedup or 0.0,
+            max_coverage_drop=(
+                args.max_table_coverage_drop
+                if args.max_table_coverage_drop is not None
+                else float("inf")
+            ),
+        )
     if problems:
         for problem in problems:
             print(f"error: invalid bench report: {problem}", file=sys.stderr)
         return 1
+    report = preserve_sections(report, args.out)
     path = write_bench(report, args.out)
     for workload, entries in report["workloads"].items():
         for kind, entry in entries.items():
@@ -374,8 +523,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not args.command:
         parser.print_usage(sys.stderr)
         print(
-            "error: provide a subcommand: gen, train, simulate, bench, "
-            "serve or serve-bench",
+            "error: provide a subcommand: gen, train, simulate, distill, "
+            "bench, serve or serve-bench",
             file=sys.stderr,
         )
         return 2
@@ -383,6 +532,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "gen": run_generate,
         "train": run_training,
         "simulate": run_simulate,
+        "distill": run_distill,
         "bench": run_bench_cmd,
         "serve": run_serve,
         "serve-bench": run_serve_bench,

@@ -600,7 +600,14 @@ def save_checkpoint(
 def load_checkpoint(
     prefix: Union[str, Path],
 ) -> Tuple[HierarchicalModel, Vocab, Vocab]:
-    """Restore ``(model, pc_vocab, page_vocab)`` from :func:`save_checkpoint`."""
+    """Restore ``(model, pc_vocab, page_vocab)`` from :func:`save_checkpoint`.
+
+    Raises :class:`FileNotFoundError` when either checkpoint file is
+    absent and :class:`ValueError` (with the offending path in the
+    message) when a file exists but is truncated, corrupt or missing
+    fields — callers like the CLI turn both into clean error exits
+    instead of tracebacks.
+    """
     prefix = Path(prefix)
     npz_path = prefix.with_suffix(prefix.suffix + ".npz")
     json_path = prefix.with_suffix(prefix.suffix + ".vocab.json")
@@ -609,15 +616,42 @@ def load_checkpoint(
             f"checkpoint {prefix} incomplete: expected {npz_path.name} "
             f"and {json_path.name} side by side"
         )
-    meta = json.loads(json_path.read_text(encoding="utf-8"))
+    try:
+        meta = json.loads(json_path.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        raise ValueError(
+            f"checkpoint metadata {json_path} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(meta, dict):
+        raise ValueError(
+            f"checkpoint metadata {json_path}: expected a JSON object"
+        )
     version = meta.get("schema_version")
     if version != CHECKPOINT_SCHEMA_VERSION:
         raise ValueError(
             f"unsupported checkpoint schema {version!r}; "
             f"this build reads version {CHECKPOINT_SCHEMA_VERSION}"
         )
-    model = HierarchicalModel(ModelConfig(**meta["model_config"]))
-    with np.load(npz_path) as arrays:
+    try:
+        model = HierarchicalModel(ModelConfig(**meta["model_config"]))
+        pc_vocab = Vocab.from_dict(meta["pc_vocab"])
+        page_vocab = Vocab.from_dict(meta["page_vocab"])
+    except (KeyError, TypeError) as exc:
+        raise ValueError(
+            f"checkpoint metadata {json_path} is corrupt or incomplete: "
+            f"{exc!r}"
+        ) from exc
+    try:
+        arrays = np.load(npz_path)
+    except Exception as exc:
+        # np.load raises zipfile.BadZipFile on a truncated archive and a
+        # misleading pickle-related ValueError on a non-npz file; both
+        # mean the same thing to a caller.
+        raise ValueError(
+            f"checkpoint archive {npz_path} is not a readable .npz "
+            f"file: {exc}"
+        ) from exc
+    with arrays:
         for name in model.params:
             if name not in arrays:
                 raise ValueError(f"checkpoint missing parameter {name!r}")
@@ -627,6 +661,4 @@ def load_checkpoint(
                     f"match config shape {model.params[name].shape}"
                 )
             model.params[name] = arrays[name].copy()
-    pc_vocab = Vocab.from_dict(meta["pc_vocab"])
-    page_vocab = Vocab.from_dict(meta["page_vocab"])
     return model, pc_vocab, page_vocab

@@ -32,6 +32,12 @@ module is that missing layer:
 - :class:`ServerStats` — request/shed/batch-size-histogram counters and
   p50/p95 response latency measured through an injected clock, so tests
   pin exact percentile values and production callers get wall-clock.
+- optional *table-backed* serving: construct the server with a
+  :class:`~voyager.distill.DistilledTable` and every request probes the
+  distilled context tables first — a hit answers from the table
+  (``source == "table"``) and skips the batched rollout entirely for
+  that stream, so table-hit traffic costs dict probes instead of model
+  arithmetic; misses fall through to the exact neural path.
 
 The server is deterministic given a deterministic submit/tick schedule:
 same streams + same accesses means bit-identical candidates, which is
@@ -48,6 +54,7 @@ from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 import numpy as np
 
 from voyager.baselines import next_line_candidates
+from voyager.distill import DistilledTable
 from voyager.infer import InferenceEngine, LSTMState
 from voyager.model import HierarchicalModel
 from voyager.sim import decode_block_candidates, page_id_table
@@ -56,6 +63,7 @@ from voyager.vocab import Vocab
 
 #: ``PrefetchResponse.source`` values.
 SOURCE_NEURAL = "neural"  # batched rollout over the stream's window
+SOURCE_TABLE = "table"  # distilled-table context hit: no rollout needed
 SOURCE_COLD = "cold"  # stream has fewer than ``history`` accesses
 SOURCE_SHED = "shed"  # backpressure: degraded or dropped at submit
 SOURCE_ORPHANED = "orphaned"  # session evicted/closed before the tick
@@ -114,14 +122,22 @@ class StreamSession:
     stream's state.
     """
 
-    __slots__ = ("stream_id", "state", "pc_ids", "feats", "accesses")
+    __slots__ = ("stream_id", "state", "pc_ids", "feats", "ctx", "accesses")
 
-    def __init__(self, stream_id: Hashable, engine: InferenceEngine):
+    def __init__(
+        self,
+        stream_id: Hashable,
+        engine: InferenceEngine,
+        ctx_depth: int = 0,
+    ):
         self.stream_id = stream_id
         self.state = engine.init_state(1)
         history = engine.config.history
         self.pc_ids: deque = deque(maxlen=history)
         self.feats: deque = deque(maxlen=history)  # (3d,) per access
+        # Encoded (pc, page, offset) triples for distilled-table
+        # lookups; empty (maxlen=0) on servers without a table.
+        self.ctx: deque = deque(maxlen=ctx_depth)
         self.accesses = 0
 
 
@@ -137,6 +153,7 @@ class ServerStats:
         self.requests = 0
         self.responses = 0
         self.neural = 0
+        self.table = 0
         self.cold = 0
         self.shed = 0
         self.orphaned = 0
@@ -157,6 +174,8 @@ class ServerStats:
         self.responses += 1
         if response.source == SOURCE_NEURAL:
             self.neural += 1
+        elif response.source == SOURCE_TABLE:
+            self.table += 1
         elif response.source == SOURCE_COLD:
             self.cold += 1
         elif response.source == SOURCE_ORPHANED:
@@ -187,6 +206,7 @@ class ServerStats:
             "requests": self.requests,
             "responses": self.responses,
             "neural": self.neural,
+            "table": self.table,
             "cold": self.cold,
             "shed": self.shed,
             "orphaned": self.orphaned,
@@ -229,12 +249,19 @@ class PrefetchServer:
         config: Optional[ServeConfig] = None,
         dtype=np.float64,
         clock: Callable[[], float] = time.perf_counter,
+        table: Optional[DistilledTable] = None,
     ):
         self.config = config or ServeConfig()
         # row_exact: batched ticks must reproduce serially driven
         # engines bit for bit per stream (see voyager.infer._mm).
         self.engine = InferenceEngine(model, dtype=dtype, row_exact=True)
         self.history = model.config.history
+        # Optional distilled table: consulted before the rollout; a
+        # context hit answers without any batched forward for that
+        # stream (the recurrent state still advances, so a later miss
+        # falls back to a neural prediction that is bit-identical to a
+        # table-free server's).
+        self.table = table
         self.pc_vocab = pc_vocab
         self.page_vocab = page_vocab
         self.clock = clock
@@ -268,7 +295,10 @@ class PrefetchServer:
         while len(self._sessions) >= self.config.max_sessions:
             self._sessions.popitem(last=False)
             self.stats.evicted += 1
-        self._sessions[stream_id] = StreamSession(stream_id, self.engine)
+        ctx_depth = self.table.config.max_depth if self.table else 0
+        self._sessions[stream_id] = StreamSession(
+            stream_id, self.engine, ctx_depth
+        )
         self.stats.opened += 1
         return stream_id
 
@@ -426,8 +456,23 @@ class PrefetchServer:
                 session.accesses += 1
                 session.pc_ids.append(int(pc_ids[i]))
                 session.feats.append(feats[i])
+                if self.table is not None:
+                    session.ctx.append(
+                        (int(pc_ids[i]), int(page_ids[i]), int(offset_ids[i]))
+                    )
                 if req.degraded:
                     continue
+                if self.table is not None:
+                    cands, _ = self.table.lookup(session.ctx)
+                    if cands is not None:
+                        # Table hit: answered without the rollout (and
+                        # even before the window is warm — a context
+                        # can be shallower than ``history``).
+                        sources_by_seq[req.seq] = SOURCE_TABLE
+                        candidates_by_seq[req.seq] = cands[
+                            : self.config.degree
+                        ]
+                        continue
                 if len(session.feats) < self.history:
                     sources_by_seq[req.seq] = SOURCE_COLD
                     candidates_by_seq[req.seq] = []
@@ -511,6 +556,7 @@ __all__ = [
     "SOURCE_NEURAL",
     "SOURCE_ORPHANED",
     "SOURCE_SHED",
+    "SOURCE_TABLE",
     "ServeConfig",
     "ServerStats",
     "StreamSession",

@@ -839,8 +839,14 @@ def make_prefetcher(
     pc_vocab: Optional[Vocab] = None,
     page_vocab: Optional[Vocab] = None,
     dtype=np.float64,
+    table=None,
 ) -> Prefetcher:
-    """Factory over the three prefetcher kinds used by bench and the CLI."""
+    """Factory over the four prefetcher kinds used by bench and the CLI.
+
+    ``kind='table'`` wraps a :class:`~voyager.distill.DistilledTable`
+    (pass it as ``table``) — the distilled lookup-table predictor that
+    replaces model arithmetic with context probes.
+    """
     from voyager.baselines import NextLinePrefetcher, StridePrefetcher
 
     if kind == "next_line":
@@ -853,9 +859,18 @@ def make_prefetcher(
                 "kind='neural' requires model, pc_vocab and page_vocab"
             )
         return NeuralPrefetcher(model, pc_vocab, page_vocab, dtype=dtype)
+    if kind == "table":
+        from voyager.distill import DistilledTable, TablePrefetcher
+
+        if not isinstance(table, DistilledTable):
+            raise ValueError(
+                "kind='table' requires table=DistilledTable (build one "
+                "with voyager.distill.build_table or the distill CLI)"
+            )
+        return TablePrefetcher(table)
     raise ValueError(
         f"unknown prefetcher kind {kind!r}; "
-        "expected 'next_line', 'stride' or 'neural'"
+        "expected 'next_line', 'stride', 'neural' or 'table'"
     )
 
 

@@ -1,17 +1,45 @@
-"""Shared fixtures: deterministic synthetic-trace factory.
+"""Shared fixtures: deterministic synthetic-trace factory + hypothesis profiles.
 
 Every workload fixture is seeded per-test via the ``trace_factory``
 fixture, so tests are reproducible in isolation and under ``-p
 no:randomly``-style reordering.  To add a new workload, implement a
 generator in ``voyager/synthetic.py``, register it in
 ``synthetic.WORKLOADS``, and it becomes available through the factory.
+
+Hypothesis runs under one of two registered profiles:
+
+- ``dev`` (default): derandomized — every run replays the same example
+  sequence, so a local failure always reproduces — with a small
+  ``max_examples`` to keep the fast suite fast;
+- ``ci``: more examples, still derandomized, for the thorough pass
+  (selected with ``HYPOTHESIS_PROFILE=ci`` in the CI workflow).
+
+Individual tests may still override ``max_examples`` with their own
+``@settings``; they inherit the profile's other fields (no deadline,
+derandomization), so per-test decorations never need ``deadline=None``
+again.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from voyager import synthetic
+
+try:
+    from hypothesis import settings
+
+    settings.register_profile(
+        "dev", max_examples=25, deadline=None, derandomize=True
+    )
+    settings.register_profile(
+        "ci", max_examples=100, deadline=None, derandomize=True
+    )
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # pragma: no cover - hypothesis is a test extra
+    pass
 
 
 @pytest.fixture

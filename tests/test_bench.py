@@ -151,6 +151,17 @@ def test_stride_fallback_flag_set_when_table_overflows():
     assert cell["stride_fallback"] is True
 
 
+def test_table_cells_carry_distill_fields(report):
+    """v4: table cells break out distill cost and table shape."""
+    for workload, entries in report["workloads"].items():
+        cell = entries["table"]
+        assert 0.0 < cell["distill_s"] <= cell["train_s"], workload
+        assert cell["table_entries"] > 0, workload
+        assert 0.0 <= cell["table_hit_rate"] <= 1.0, workload
+        for kind in ("next_line", "stride", "neural"):
+            assert "distill_s" not in entries[kind]
+
+
 def test_next_line_covers_stride_workload(report):
     entry = report["workloads"]["stride"]["next_line"]
     assert entry["coverage"] > 0.9

@@ -197,3 +197,266 @@ def test_bench_smoke_writes_valid_report(tmp_path, capsys):
     assert validate_report(report) == []
     assert len(report["workloads"]) >= 2
     assert "wrote" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# simulate/serve error paths: clean exits, never tracebacks
+# ----------------------------------------------------------------------
+@pytest.fixture
+def tiny_checkpoint(stride_trace_file, tmp_path):
+    prefix = tmp_path / "ckpt" / "model"
+    rc = main(
+        [
+            "train",
+            "--trace",
+            str(stride_trace_file),
+            "--steps",
+            "5",
+            "--hidden-dim",
+            "8",
+            "--embed-dim",
+            "4",
+            "--no-baselines",
+            "--save",
+            str(prefix),
+        ]
+    )
+    assert rc == 0
+    return prefix
+
+
+def test_simulate_corrupt_checkpoint_npz_is_clean_error(
+    stride_trace_file, tiny_checkpoint, capsys
+):
+    tiny_checkpoint.with_suffix(".npz").write_bytes(b"not a zip archive")
+    rc = main(
+        [
+            "simulate",
+            "--trace",
+            str(stride_trace_file),
+            "--checkpoint",
+            str(tiny_checkpoint),
+        ]
+    )
+    assert rc == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "not a readable .npz" in err
+
+
+def test_simulate_corrupt_checkpoint_meta_is_clean_error(
+    stride_trace_file, tiny_checkpoint, capsys
+):
+    tiny_checkpoint.with_suffix(".vocab.json").write_text("{truncated")
+    rc = main(
+        [
+            "simulate",
+            "--trace",
+            str(stride_trace_file),
+            "--checkpoint",
+            str(tiny_checkpoint),
+        ]
+    )
+    assert rc == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "not valid JSON" in err
+
+
+def test_simulate_checkpoint_missing_meta_fields_is_clean_error(
+    stride_trace_file, tiny_checkpoint, capsys
+):
+    tiny_checkpoint.with_suffix(".vocab.json").write_text(
+        json.dumps({"schema_version": 1})
+    )
+    rc = main(
+        [
+            "simulate",
+            "--trace",
+            str(stride_trace_file),
+            "--checkpoint",
+            str(tiny_checkpoint),
+        ]
+    )
+    assert rc == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_serve_missing_checkpoint_is_clean_error(
+    stride_trace_file, tmp_path, capsys
+):
+    rc = main(
+        [
+            "serve",
+            "--trace",
+            str(stride_trace_file),
+            "--checkpoint",
+            str(tmp_path / "absent"),
+        ]
+    )
+    assert rc == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "incomplete" in err
+
+
+def test_unknown_prefetcher_is_usage_error(stride_trace_file, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(
+            [
+                "simulate",
+                "--trace",
+                str(stride_trace_file),
+                "--prefetcher",
+                "psychic",
+            ]
+        )
+    assert excinfo.value.code == 2
+    assert "invalid choice" in capsys.readouterr().err
+
+
+def test_bench_jobs_zero_is_clean_error(capsys):
+    rc = main(["bench", "--smoke", "--jobs", "0"])
+    assert rc == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "jobs" in err
+
+
+def test_bench_bad_distill_sizes_is_clean_error(capsys):
+    rc = main(
+        [
+            "bench",
+            "--smoke",
+            "--distill-frontier",
+            "--distill-table-sizes",
+            "16,zero",
+        ]
+    )
+    assert rc == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "--distill-table-sizes" in err
+
+
+# ----------------------------------------------------------------------
+# distill -> simulate --prefetcher table
+# ----------------------------------------------------------------------
+def test_distill_then_simulate_table(
+    stride_trace_file, tiny_checkpoint, tmp_path, capsys
+):
+    table_path = tmp_path / "tables.json"
+    rc = main(
+        [
+            "distill",
+            "--trace",
+            str(stride_trace_file),
+            "--checkpoint",
+            str(tiny_checkpoint),
+            "--out",
+            str(table_path),
+            "--depth",
+            "2",
+            "--table-size",
+            "512",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "distilled" in out and "wrote" in out
+    assert table_path.exists()
+
+    rc = main(
+        [
+            "simulate",
+            "--trace",
+            str(stride_trace_file),
+            "--prefetcher",
+            "table",
+            "--table",
+            str(table_path),
+        ]
+    )
+    assert rc == 0
+    assert "prefetcher=table" in capsys.readouterr().out
+
+
+def test_distill_missing_checkpoint_is_clean_error(
+    stride_trace_file, tmp_path, capsys
+):
+    rc = main(
+        [
+            "distill",
+            "--trace",
+            str(stride_trace_file),
+            "--checkpoint",
+            str(tmp_path / "absent"),
+            "--out",
+            str(tmp_path / "t.json"),
+        ]
+    )
+    assert rc == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_distill_invalid_depth_is_clean_error(
+    stride_trace_file, tiny_checkpoint, tmp_path, capsys
+):
+    rc = main(
+        [
+            "distill",
+            "--trace",
+            str(stride_trace_file),
+            "--checkpoint",
+            str(tiny_checkpoint),
+            "--out",
+            str(tmp_path / "t.json"),
+            "--depth",
+            "0",
+        ]
+    )
+    assert rc == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_simulate_table_without_table_file_is_clean_error(
+    stride_trace_file, capsys
+):
+    rc = main(
+        ["simulate", "--trace", str(stride_trace_file), "--prefetcher", "table"]
+    )
+    assert rc == 1
+    assert "needs --table" in capsys.readouterr().err
+
+
+def test_simulate_table_flag_without_table_prefetcher_is_clean_error(
+    stride_trace_file, tmp_path, capsys
+):
+    rc = main(
+        [
+            "simulate",
+            "--trace",
+            str(stride_trace_file),
+            "--prefetcher",
+            "stride",
+            "--table",
+            str(tmp_path / "t.json"),
+        ]
+    )
+    assert rc == 1
+    assert "only makes sense" in capsys.readouterr().err
+
+
+def test_simulate_corrupt_table_file_is_clean_error(
+    stride_trace_file, tmp_path, capsys
+):
+    table_path = tmp_path / "t.json"
+    table_path.write_text("[1, 2, 3]")
+    rc = main(
+        [
+            "simulate",
+            "--trace",
+            str(stride_trace_file),
+            "--prefetcher",
+            "table",
+            "--table",
+            str(table_path),
+        ]
+    )
+    assert rc == 1
+    assert "error:" in capsys.readouterr().err

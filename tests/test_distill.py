@@ -1,0 +1,545 @@
+"""Distillation tests: tolerance-based equivalence + table properties.
+
+Distillation is this repo's first *approximate* fast path, so the
+contract is different from the bit-exact tiers: the tests pin what
+stays exact — a full-depth (``depth == history``) table hit reproduces
+the engine's rollout bit for bit, every stored candidate list is a real
+engine rollout of some matching training window (never a blend), and
+the kernel/streaming simulator paths agree — plus hypothesis property
+tests over table build, lookup fallback order, serialization and the
+frontier/budget plumbing in :mod:`voyager.bench`.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from voyager.baselines import StridePrefetcher, next_line_candidates
+from voyager.bench import (
+    SMOKE_PROFILE,
+    BenchProfile,
+    bench_cell,
+    check_distill_budget,
+    parse_int_list,
+    preserve_sections,
+    run_distill_frontier,
+    validate_distill,
+)
+from voyager.distill import (
+    FALLBACKS,
+    DistillConfig,
+    DistilledTable,
+    TablePrefetcher,
+    build_table,
+    context_key,
+    depth_chain,
+)
+from voyager.model import HierarchicalModel, ModelConfig
+from voyager.sim import NeuralPrefetcher, SimConfig, make_prefetcher, simulate
+from voyager.synthetic import generate
+from voyager.train import build_dataset
+from voyager.vocab import Vocab
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+HISTORY = 4
+TOP_K = 6
+
+
+def distill_setup(workload: str = "stride", n: int = 300, seed: int = 0):
+    """Untrained tiny model + vocabs fitted to a real synthetic trace.
+
+    Distillation compiles whatever the model computes — training is
+    irrelevant to every property under test, so skipping it keeps the
+    suite fast.
+    """
+    trace = generate(workload, n, seed=seed)
+    dataset = build_dataset(trace, history=HISTORY)
+    model = HierarchicalModel(
+        ModelConfig(
+            pc_vocab_size=dataset.pc_vocab.size,
+            page_vocab_size=dataset.page_vocab.size,
+            embed_dim=4,
+            hidden_dim=6,
+            history=HISTORY,
+            seed=seed,
+        )
+    )
+    return model, dataset.pc_vocab, dataset.page_vocab, trace
+
+
+def engine_rollouts(model, pc_vocab, page_vocab, trace, k):
+    """Reference rollouts per trace position via NeuralPrefetcher.prime.
+
+    Independent of :func:`build_table`'s own arithmetic — this is the
+    code path the simulator itself trusts.
+    """
+    neural = NeuralPrefetcher(model, pc_vocab, page_vocab)
+    neural.prime(trace, k)
+    return neural._primed
+
+
+def encoded_triples(pc_vocab, page_vocab, trace):
+    return [
+        (pc_vocab.encode(a.pc), page_vocab.encode(a.page), a.offset)
+        for a in trace
+    ]
+
+
+# ----------------------------------------------------------------------
+# config and key plumbing
+# ----------------------------------------------------------------------
+def test_depth_chain_counts_down_to_one():
+    assert depth_chain(1) == (1,)
+    assert depth_chain(4) == (4, 3, 2, 1)
+
+
+def test_depth_chain_rejects_nonpositive():
+    with pytest.raises(ValueError, match="max_depth"):
+        depth_chain(0)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"depths": ()},
+        {"depths": (2, 0)},
+        {"depths": (1, 2)},  # not decreasing
+        {"depths": (2, 2, 1)},  # duplicate
+        {"table_size": 0},
+        {"top_k": 0},
+        {"fallback": "teleport"},
+    ],
+)
+def test_distill_config_validation(kwargs):
+    with pytest.raises(ValueError):
+        DistillConfig(**kwargs)
+
+
+def test_distill_config_max_depth():
+    assert DistillConfig(depths=(5, 3, 1)).max_depth == 5
+
+
+def test_context_key_interleaves_oldest_first():
+    pcs, pages, offs = [10, 11, 12], [20, 21, 22], [1, 2, 3]
+    assert context_key(pcs, pages, offs, end=2, depth=2) == (
+        11, 21, 2, 12, 22, 3,
+    )
+    assert context_key(pcs, pages, offs, end=0, depth=1) == (10, 20, 1)
+
+
+# ----------------------------------------------------------------------
+# build: equivalence with the engine rollout
+# ----------------------------------------------------------------------
+def test_build_table_short_trace_is_empty():
+    model, pc_vocab, page_vocab, trace = distill_setup(n=300)
+    table = build_table(
+        model, pc_vocab, page_vocab, trace[: HISTORY - 1],
+        DistillConfig(depths=(2, 1)),
+    )
+    assert table.total_entries == 0
+    assert table.entries == {2: 0, 1: 0}
+
+
+@pytest.mark.parametrize("workload", ["stride", "page_cycle", "random_walk"])
+def test_full_depth_hit_reproduces_engine_rollout_bit_exactly(workload):
+    """depth == history: the context determines the window, so the table
+    entry must equal the engine's rollout for that window exactly."""
+    model, pc_vocab, page_vocab, trace = distill_setup(workload)
+    config = DistillConfig(depths=(HISTORY, 1), top_k=TOP_K, table_size=10_000)
+    table = build_table(model, pc_vocab, page_vocab, trace, config)
+    rollouts = engine_rollouts(model, pc_vocab, page_vocab, trace, TOP_K)
+    triples = encoded_triples(pc_vocab, page_vocab, trace)
+
+    checked = 0
+    for pos in range(HISTORY - 1, len(trace)):
+        hit, depth = table.lookup(triples[pos - HISTORY + 1 : pos + 1])
+        if depth == HISTORY:
+            assert hit == rollouts[pos]
+            checked += 1
+    assert checked > 0
+
+
+@pytest.mark.parametrize("workload", ["stride", "random_walk"])
+def test_every_stored_list_is_a_real_engine_rollout(workload):
+    """No blending: each entry (any depth) equals the engine rollout of
+    at least one training window whose trailing triples match the key."""
+    model, pc_vocab, page_vocab, trace = distill_setup(workload, seed=3)
+    config = DistillConfig(depths=(3, 2, 1), top_k=TOP_K, table_size=10_000)
+    table = build_table(model, pc_vocab, page_vocab, trace, config)
+    rollouts = engine_rollouts(model, pc_vocab, page_vocab, trace, TOP_K)
+    triples = encoded_triples(pc_vocab, page_vocab, trace)
+
+    # group the real rollouts by context key per depth
+    seen = {depth: {} for depth in config.depths}
+    for pos in range(HISTORY - 1, len(trace)):
+        for depth in config.depths:
+            key = tuple(
+                v for t in triples[pos - depth + 1 : pos + 1] for v in t
+            )
+            seen[depth].setdefault(key, []).append(tuple(rollouts[pos]))
+
+    assert table.total_entries > 0
+    for depth, entries in table.tables.items():
+        for key, cands in entries.items():
+            assert cands in seen[depth][key]
+
+
+def test_table_hit_predictions_within_engine_topk():
+    """Tolerance contract: a full-depth hit's first candidate is the
+    engine's top-1 next-step block — a member of any engine top-k."""
+    model, pc_vocab, page_vocab, trace = distill_setup("page_cycle", seed=1)
+    config = DistillConfig(depths=(HISTORY,), top_k=TOP_K, table_size=10_000)
+    table = build_table(model, pc_vocab, page_vocab, trace, config)
+    rollouts = engine_rollouts(model, pc_vocab, page_vocab, trace, TOP_K)
+    triples = encoded_triples(pc_vocab, page_vocab, trace)
+    for pos in range(HISTORY - 1, len(trace)):
+        hit, depth = table.lookup(triples[pos - HISTORY + 1 : pos + 1])
+        if hit and rollouts[pos]:
+            assert hit[0] == rollouts[pos][0]
+            assert set(hit).issubset(set(rollouts[pos]))
+
+
+def test_table_size_caps_each_depth_by_frequency():
+    model, pc_vocab, page_vocab, trace = distill_setup("page_cycle")
+    small = build_table(
+        model, pc_vocab, page_vocab, trace,
+        DistillConfig(depths=(2, 1), table_size=3, top_k=2),
+    )
+    full = build_table(
+        model, pc_vocab, page_vocab, trace,
+        DistillConfig(depths=(2, 1), table_size=100_000, top_k=2),
+    )
+    for depth in (2, 1):
+        assert len(small.tables[depth]) <= 3
+        # the kept contexts are a subset of the uncapped table and agree
+        for key, cands in small.tables[depth].items():
+            assert full.tables[depth][key] == cands
+
+
+# ----------------------------------------------------------------------
+# lookup: deepest-first fallback order (model-free property tests)
+# ----------------------------------------------------------------------
+def manual_table(tables, depths=(2, 1), fallback="none"):
+    config = DistillConfig(depths=depths, fallback=fallback)
+    return DistilledTable(
+        config,
+        Vocab(cap=8).fit([1, 2]),
+        Vocab(cap=8).fit([3, 4]),
+        history=4,
+        tables={d: tables.get(d, {}) for d in depths},
+    )
+
+
+def test_lookup_prefers_deepest_hit():
+    table = manual_table(
+        {
+            2: {(1, 1, 1, 2, 2, 2): (100,)},
+            1: {(2, 2, 2): (200,)},
+        }
+    )
+    cands, depth = table.lookup([(1, 1, 1), (2, 2, 2)])
+    assert (cands, depth) == ([100], 2)
+
+
+def test_lookup_falls_through_to_shallower_depth():
+    table = manual_table({1: {(2, 2, 2): (200,)}})
+    cands, depth = table.lookup([(9, 9, 9), (2, 2, 2)])
+    assert (cands, depth) == ([200], 1)
+
+
+def test_lookup_short_context_skips_deep_tables():
+    table = manual_table(
+        {
+            2: {(1, 1, 1, 2, 2, 2): (100,)},
+            1: {(1, 1, 1): (300,)},
+        }
+    )
+    cands, depth = table.lookup([(1, 1, 1)])
+    assert (cands, depth) == ([300], 1)
+
+
+def test_lookup_miss_and_empty_context():
+    table = manual_table({1: {(1, 1, 1): (300,)}})
+    assert table.lookup([]) == (None, None)
+    assert table.lookup([(5, 5, 5)]) == (None, None)
+
+
+@settings(max_examples=50)
+@given(
+    triples=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),
+            st.integers(min_value=0, max_value=3),
+            st.integers(min_value=0, max_value=3),
+        ),
+        max_size=6,
+    )
+)
+def test_lookup_returns_first_configured_depth_that_hits(triples):
+    """Model-free property: lookup == a hand-rolled deepest-first scan
+    over the same tables."""
+    tables = {
+        2: {(0, 0, 0, 1, 1, 1): (7,), (1, 1, 1, 1, 1, 1): (8,)},
+        1: {(1, 1, 1): (9,), (2, 2, 2): (10,)},
+    }
+    table = manual_table(tables)
+    expected = (None, None)
+    for depth in (2, 1):
+        if len(triples) < depth:
+            continue
+        key = tuple(v for t in triples[len(triples) - depth :] for v in t)
+        hit = tables[depth].get(key)
+        if hit is not None:
+            expected = (list(hit), depth)
+            break
+    assert table.lookup(triples) == expected
+
+
+# ----------------------------------------------------------------------
+# serialization
+# ----------------------------------------------------------------------
+def test_save_load_roundtrip(tmp_path):
+    model, pc_vocab, page_vocab, trace = distill_setup()
+    table = build_table(
+        model, pc_vocab, page_vocab, trace,
+        DistillConfig(depths=(2, 1), top_k=3),
+    )
+    path = table.save(tmp_path / "t.json")
+    loaded = DistilledTable.load(path)
+    assert loaded.config == table.config
+    assert loaded.history == table.history
+    assert loaded.tables == table.tables
+    assert loaded.pc_vocab.to_dict() == pc_vocab.to_dict()
+    assert loaded.page_vocab.to_dict() == page_vocab.to_dict()
+
+
+def test_load_missing_file_raises(tmp_path):
+    with pytest.raises(FileNotFoundError, match="not found"):
+        DistilledTable.load(tmp_path / "absent.json")
+
+
+def test_load_corrupt_json_raises_value_error(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json", encoding="utf-8")
+    with pytest.raises(ValueError, match="not valid JSON"):
+        DistilledTable.load(path)
+
+
+def test_load_wrong_schema_raises(tmp_path):
+    path = tmp_path / "old.json"
+    path.write_text(json.dumps({"schema_version": 999}), encoding="utf-8")
+    with pytest.raises(ValueError, match="unsupported table schema"):
+        DistilledTable.load(path)
+
+
+def test_load_missing_fields_raises(tmp_path):
+    path = tmp_path / "partial.json"
+    path.write_text(json.dumps({"schema_version": 1}), encoding="utf-8")
+    with pytest.raises(ValueError, match="corrupt or incomplete"):
+        DistilledTable.load(path)
+
+
+# ----------------------------------------------------------------------
+# TablePrefetcher: protocol, fallbacks, kernel equivalence
+# ----------------------------------------------------------------------
+def test_prefetcher_cold_and_degree_zero():
+    table = manual_table({1: {(1, 1, 1): (300,)}})
+    pf = TablePrefetcher(table)
+    access = generate("stride", 5)[0]
+    assert pf.prefetch(access, 0) == []
+    assert pf.prefetch(access, 2) == []  # no update yet -> cold
+    assert pf.stats == {"cold": 1}
+    assert pf.hit_rate == 0.0
+
+
+def test_prefetcher_stride_fallback_matches_baseline():
+    table = manual_table({1: {}}, depths=(1,), fallback="stride")
+    pf, ref = TablePrefetcher(table), StridePrefetcher()
+    for access in generate("stride", 50):
+        pf.update(access)
+        ref.update(access)
+        assert pf.prefetch(access, 3) == ref.prefetch(access, 3)
+    assert pf.stats == {"stride": 50}
+
+
+def test_prefetcher_next_line_fallback():
+    table = manual_table({1: {}}, depths=(1,), fallback="next_line")
+    pf = TablePrefetcher(table)
+    access = generate("stride", 5)[0]
+    pf.update(access)
+    assert pf.prefetch(access, 2) == next_line_candidates(access.block, 2)
+
+
+def test_prefetcher_none_fallback_returns_nothing():
+    table = manual_table({1: {}}, depths=(1,), fallback="none")
+    pf = TablePrefetcher(table)
+    access = generate("stride", 5)[0]
+    pf.update(access)
+    assert pf.prefetch(access, 2) == []
+    assert pf.stats == {"none": 1}
+
+
+def test_hit_rate_counts_depth_sources_only():
+    table = manual_table({1: {(1, 1, 1): (300,)}})
+    pf = TablePrefetcher(table)
+    pf.stats = {"depth1": 3, "depth2": 1, "stride": 4}
+    assert pf.hit_rate == 0.5
+
+
+@pytest.mark.parametrize("fallback", FALLBACKS)
+@pytest.mark.parametrize("workload", ["stride", "random_walk"])
+def test_kernel_and_streaming_paths_are_bit_identical(workload, fallback):
+    model, pc_vocab, page_vocab, trace = distill_setup(workload, seed=2)
+    config = DistillConfig(
+        depths=(3, 1), top_k=TOP_K, table_size=64, fallback=fallback
+    )
+    table = build_table(model, pc_vocab, page_vocab, trace, config)
+    sim_config = SimConfig(degree=2, distance=3, latency=4)
+    pf_kernel = TablePrefetcher(table)
+    kernel = simulate(trace, pf_kernel, sim_config, use_kernel=True)
+    pf_stream = TablePrefetcher(table)
+    stream = simulate(trace, pf_stream, sim_config, use_kernel=False)
+    assert kernel.as_dict() == stream.as_dict()
+    assert pf_kernel.stats == pf_stream.stats
+
+
+def test_offline_candidates_match_streaming_protocol():
+    model, pc_vocab, page_vocab, trace = distill_setup("page_cycle", seed=4)
+    table = build_table(
+        model, pc_vocab, page_vocab, trace,
+        DistillConfig(depths=(2, 1), top_k=TOP_K, table_size=128),
+    )
+    degree, distance = 2, 3
+    rows = TablePrefetcher(table).offline_candidates(trace, degree, distance)
+    replay = TablePrefetcher(table)
+    want = degree + distance
+    for access, row in zip(trace, rows):
+        replay.update(access)
+        expected = replay.prefetch(access, want)[distance:want]
+        # stride fallback rows may be -1-padded (kernel-skipped) where
+        # streaming returns [] — both issue nothing
+        assert [c for c in row if c >= 0] == [c for c in expected if c >= 0]
+
+
+def test_make_prefetcher_table_requires_table():
+    with pytest.raises(ValueError, match="table"):
+        make_prefetcher("table")
+    table = manual_table({1: {}}, depths=(1,))
+    pf = make_prefetcher("table", table=table)
+    assert isinstance(pf, TablePrefetcher)
+    assert pf.name == "table"
+
+
+# ----------------------------------------------------------------------
+# bench integration: grid cell, frontier, gates
+# ----------------------------------------------------------------------
+TINY = BenchProfile(
+    name="smoke",  # report validation expects a known profile name
+    trace_length=260,
+    train_steps=4,
+    embed_dim=4,
+    hidden_dim=6,
+    history=4,
+    workloads=("stride",),
+    sim=SimConfig(degree=2, distance=2, latency=2),
+    distill_depth=2,
+    distill_table_size=256,
+)
+
+
+def test_bench_table_cell_fields_and_timing_invariant():
+    entry = bench_cell("stride", "table", TINY, seed=0)
+    assert entry["cpu_s"] == entry["train_s"] + entry["sim_s"]
+    assert 0.0 < entry["distill_s"] < entry["train_s"]
+    assert entry["table_entries"] > 0
+    assert 0.0 <= entry["table_hit_rate"] <= 1.0
+
+
+def test_distill_frontier_section_shape_and_consistency():
+    section = run_distill_frontier(
+        TINY, seed=0, table_sizes=(16, 256), depths=(1, 2)
+    )
+    assert validate_distill(section) == []
+    entry = section["workloads"]["stride"]
+    assert len(entry["cells"]) == 4
+    for cell in entry["cells"]:
+        assert cell["coverage_delta"] == pytest.approx(
+            entry["neural"]["coverage"] - cell["coverage"]
+        )
+        assert cell["entries"] <= cell["table_size"] * cell["depth"]
+        assert cell["speedup_vs_neural"] > 0
+
+
+def test_validate_distill_flags_missing_pieces():
+    assert validate_distill("nope") == ["distill: expected a dict"]
+    assert validate_distill({}) == ["distill: missing workloads"]
+    problems = validate_distill(
+        {"workloads": {"stride": {"neural": {}, "cells": [{}]}}}
+    )
+    assert any("neural reference" in p for p in problems)
+    assert any("missing coverage" in p for p in problems)
+
+
+def fake_grid_report(neural_sim_s, table_sim_s, neural_cov, table_cov):
+    return {
+        "workloads": {
+            "stride": {
+                "neural": {"sim_s": neural_sim_s, "coverage": neural_cov},
+                "table": {"sim_s": table_sim_s, "coverage": table_cov},
+            }
+        }
+    }
+
+
+def test_check_distill_budget_passes_within_limits():
+    report = fake_grid_report(1.0, 0.05, 0.5, 0.45)
+    assert check_distill_budget(report, 10.0, 0.10) == []
+
+
+def test_check_distill_budget_flags_slow_table():
+    report = fake_grid_report(1.0, 0.5, 0.5, 0.5)
+    problems = check_distill_budget(report, 10.0, 0.10)
+    assert len(problems) == 1 and "speedup" in problems[0]
+
+
+def test_check_distill_budget_flags_coverage_drop():
+    report = fake_grid_report(1.0, 0.05, 0.5, 0.2)
+    problems = check_distill_budget(report, 10.0, 0.10)
+    assert len(problems) == 1 and "coverage drop" in problems[0]
+
+
+def test_check_distill_budget_flags_missing_cells():
+    problems = check_distill_budget({"workloads": {"stride": {}}}, 10.0, 0.1)
+    assert problems == ["stride: missing neural/table sim_s for distill gate"]
+
+
+def test_preserve_sections_carries_serving_and_distill(tmp_path):
+    path = tmp_path / "bench.json"
+    path.write_text(
+        json.dumps({"serving": {"streams": 4}, "distill": {"workloads": {}}}),
+        encoding="utf-8",
+    )
+    merged = preserve_sections({"schema_version": 4}, path)
+    assert merged["serving"] == {"streams": 4}
+    assert merged["distill"] == {"workloads": {}}
+    # fresh sections win over stale ones
+    fresh = preserve_sections({"distill": {"new": True}}, path)
+    assert fresh["distill"] == {"new": True}
+
+
+def test_parse_int_list():
+    assert parse_int_list("256,1024", "--x") == (256, 1024)
+    with pytest.raises(ValueError, match="--x"):
+        parse_int_list("256,frog", "--x")
+    with pytest.raises(ValueError, match="--x"):
+        parse_int_list("0", "--x")
+
+
+def test_smoke_profile_distill_config_matches_issue_policy():
+    config = SMOKE_PROFILE.distill_config()
+    assert config.top_k == SMOKE_PROFILE.sim.degree + SMOKE_PROFILE.sim.distance
+    assert config.depths == depth_chain(SMOKE_PROFILE.distill_depth)

@@ -50,7 +50,7 @@ def random_windows(model: HierarchicalModel, B: int, seed: int):
 # ----------------------------------------------------------------------
 # bit-exact equivalence properties (float64)
 # ----------------------------------------------------------------------
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=40)
 @given(
     model_seed=st.integers(min_value=0, max_value=50),
     data_seed=st.integers(min_value=0, max_value=1_000_000),
@@ -70,7 +70,7 @@ def test_window_state_matches_forward_bit_exactly(model_seed, data_seed, B):
     np.testing.assert_array_equal(eng_off, off_probs)
 
 
-@settings(max_examples=40, deadline=None)
+@settings(max_examples=40)
 @given(
     model_seed=st.integers(min_value=0, max_value=50),
     data_seed=st.integers(min_value=0, max_value=1_000_000),
@@ -94,7 +94,6 @@ def test_incremental_steps_match_forward_bit_exactly(model_seed, data_seed, B):
     np.testing.assert_array_equal(inc_logits[1], full_logits[1])
 
 
-@settings(max_examples=25, deadline=None)
 @given(
     model_seed=st.integers(min_value=0, max_value=50),
     data_seed=st.integers(min_value=0, max_value=1_000_000),
@@ -300,7 +299,6 @@ def test_streaming_and_primed_candidates_agree(small_fit):
 # ----------------------------------------------------------------------
 # row_exact mode: batched rows == serial batch-width-1 runs, bit for bit
 # ----------------------------------------------------------------------
-@settings(max_examples=25, deadline=None)
 @given(
     model_seed=st.integers(min_value=0, max_value=50),
     data_seed=st.integers(min_value=0, max_value=1_000_000),

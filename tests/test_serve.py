@@ -19,13 +19,17 @@ import pytest
 from voyager.baselines import next_line_candidates
 from voyager.infer import InferenceEngine
 from voyager.model import HierarchicalModel, ModelConfig
+from voyager.distill import DistillConfig, DistilledTable
 from voyager.serve import (
     SOURCE_COLD,
     SOURCE_NEURAL,
     SOURCE_ORPHANED,
     SOURCE_SHED,
+    SOURCE_TABLE,
+    PrefetchResponse,
     PrefetchServer,
     ServeConfig,
+    ServerStats,
 )
 from voyager.sim import decode_block_candidates, page_id_table
 from voyager.traces import NUM_OFFSETS, MemoryAccess, join_address
@@ -112,7 +116,7 @@ class SerialStream:
 # tentpole property: batched == serial, bit for bit, per stream
 # ----------------------------------------------------------------------
 @pytest.mark.parametrize("dtype", [np.float64, np.float32])
-@settings(max_examples=12, deadline=None)
+@settings(max_examples=12)
 @given(
     model_seed=st.integers(min_value=0, max_value=30),
     data_seed=st.integers(min_value=0, max_value=1_000_000),
@@ -398,3 +402,186 @@ def test_submit_to_unknown_stream_raises():
     server = PrefetchServer(model, pc_vocab, page_vocab)
     with pytest.raises(KeyError):
         server.submit("ghost", PCS[0], join_address(PAGES[0], 0))
+
+
+# ----------------------------------------------------------------------
+# table-backed serving: distilled-table hits skip the rollout
+# ----------------------------------------------------------------------
+def full_depth1_table(pc_vocab, page_vocab, candidates_for):
+    """Depth-1 table covering every (pc, page, offset) the tests emit."""
+    entries = {}
+    for pc in PCS:
+        for page in PAGES:
+            for off in range(NUM_OFFSETS):
+                key = (pc_vocab.encode(pc), page_vocab.encode(page), off)
+                entries[key] = candidates_for(page, off)
+    return DistilledTable(
+        DistillConfig(depths=(1,), top_k=4, fallback="none"),
+        pc_vocab,
+        page_vocab,
+        history=HISTORY,
+        tables={1: entries},
+    )
+
+
+def test_table_backed_server_answers_every_access_from_the_table():
+    model, pc_vocab, page_vocab = serving_setup()
+    table = full_depth1_table(
+        pc_vocab,
+        page_vocab,
+        lambda page, off: (
+            ((page << 6) | off) + 1,  # block + 1 (OFFSET_BITS = 6)
+            ((page << 6) | off) + 2,
+            99,
+        ),
+    )
+    server = PrefetchServer(
+        model, pc_vocab, page_vocab, ServeConfig(degree=DEGREE), table=table
+    )
+    server.open_stream("a")
+    rng = np.random.default_rng(11)
+    for _ in range(HISTORY + 2):  # includes accesses a cold server would drop
+        access = random_access(rng)
+        response = server.access("a", access.pc, access.address)
+        assert response.source == SOURCE_TABLE
+        assert response.candidates == [access.block + 1, access.block + 2]
+    assert server.stats.table == HISTORY + 2
+    assert server.stats.neural == 0 and server.stats.cold == 0
+
+
+def test_table_backed_server_state_matches_plain_server():
+    """Table hits answer the request but must not skip the recurrent
+    update: later misses fall back to the exact same rollout a
+    table-free server would produce."""
+    model, pc_vocab, page_vocab = serving_setup()
+    one_key_table = DistilledTable(
+        DistillConfig(depths=(1,), top_k=4, fallback="none"),
+        pc_vocab,
+        page_vocab,
+        history=HISTORY,
+        tables={1: {(pc_vocab.encode(PCS[0]), page_vocab.encode(PAGES[0]), 0): (7,)}},
+    )
+    with_table = PrefetchServer(
+        model, pc_vocab, page_vocab, ServeConfig(degree=DEGREE), table=one_key_table
+    )
+    without = PrefetchServer(
+        model, pc_vocab, page_vocab, ServeConfig(degree=DEGREE)
+    )
+    for server in (with_table, without):
+        server.open_stream("a")
+    rng = np.random.default_rng(13)
+    for _ in range(3 * HISTORY):
+        access = random_access(rng)
+        rt = with_table.access("a", access.pc, access.address)
+        rp = without.access("a", access.pc, access.address)
+        if rt.source != SOURCE_TABLE:
+            assert (rt.source, rt.candidates) == (rp.source, rp.candidates)
+    st_t = with_table.session_state("a")
+    st_p = without.session_state("a")
+    np.testing.assert_array_equal(st_t.h, st_p.h)
+    np.testing.assert_array_equal(st_t.c, st_p.c)
+
+
+def test_table_ctx_depth_sizes_session_context():
+    model, pc_vocab, page_vocab = serving_setup()
+    table = DistilledTable(
+        DistillConfig(depths=(3, 1), top_k=2),
+        pc_vocab,
+        page_vocab,
+        history=HISTORY,
+    )
+    server = PrefetchServer(model, pc_vocab, page_vocab, table=table)
+    server.open_stream("a")
+    assert server._sessions["a"].ctx.maxlen == 3
+    plain = PrefetchServer(model, pc_vocab, page_vocab)
+    plain.open_stream("a")
+    assert plain._sessions["a"].ctx.maxlen == 0
+
+
+# ----------------------------------------------------------------------
+# ServerStats properties: percentiles and histogram edge cases
+# ----------------------------------------------------------------------
+@settings(max_examples=60)
+@given(
+    latencies=st.lists(
+        st.floats(
+            min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False
+        ),
+        min_size=1,
+        max_size=200,
+    )
+)
+def test_latency_percentiles_match_numpy_inverted_cdf(latencies):
+    """Nearest-rank p50/p95 == numpy's inverted_cdf percentile method."""
+    stats = ServerStats()
+    for value in latencies:
+        stats.observe_response(
+            PrefetchResponse(
+                seq=0, stream_id="a", source=SOURCE_COLD, candidates=[],
+                latency_s=value,
+            )
+        )
+    result = stats.latency_percentiles()
+    arr = np.asarray(latencies)
+    assert result["count"] == len(latencies)
+    assert result["p50_s"] == np.percentile(arr, 50, method="inverted_cdf")
+    assert result["p95_s"] == np.percentile(arr, 95, method="inverted_cdf")
+    assert result["max_s"] == arr.max()
+    assert result["mean_s"] == pytest.approx(arr.mean())
+
+
+def test_empty_server_stats_are_all_zero_and_json_safe():
+    stats = ServerStats()
+    snapshot = stats.snapshot()
+    assert json.loads(json.dumps(snapshot)) == snapshot
+    assert snapshot["batch_size_hist"] == {}
+    assert snapshot["latency"] == {
+        "count": 0, "p50_s": 0.0, "p95_s": 0.0, "max_s": 0.0, "mean_s": 0.0,
+    }
+
+
+def test_single_tick_histogram_and_percentiles():
+    model, pc_vocab, page_vocab = serving_setup()
+    server = PrefetchServer(model, pc_vocab, page_vocab)
+    server.open_stream("a")
+    access = random_access(np.random.default_rng(21))
+    server.submit("a", access.pc, access.address)
+    server.tick()
+    snapshot = server.stats.snapshot()
+    assert snapshot["ticks"] == 1
+    assert snapshot["batch_size_hist"] == {1: 1}
+    latency = snapshot["latency"]
+    assert latency["count"] == 1
+    assert latency["p50_s"] == latency["p95_s"] == latency["max_s"]
+
+
+def test_eviction_mid_flight_counts_orphans_in_histogram():
+    """A stream evicted between submit and tick still resolves its
+    pending request (orphaned) and the batch histogram counts it."""
+    model, pc_vocab, page_vocab = serving_setup()
+    server = PrefetchServer(
+        model, pc_vocab, page_vocab, ServeConfig(max_sessions=1)
+    )
+    server.open_stream("a")
+    access = random_access(np.random.default_rng(22))
+    server.submit("a", access.pc, access.address)
+    server.open_stream("b")  # evicts "a" with its request in flight
+    responses = server.tick()
+    assert [r.source for r in responses] == [SOURCE_ORPHANED]
+    assert server.stats.evicted == 1
+    assert server.stats.orphaned == 1
+    assert server.stats.batch_size_hist == {1: 1}
+
+
+def test_latency_samples_are_bounded():
+    stats = ServerStats(max_latency_samples=4)
+    for i in range(10):
+        stats.observe_response(
+            PrefetchResponse(
+                seq=i, stream_id="a", source=SOURCE_COLD, candidates=[],
+                latency_s=float(i),
+            )
+        )
+    result = stats.latency_percentiles()
+    assert result["count"] == 4
+    assert result["p50_s"] == 7.0  # only the last four samples survive
