@@ -4,7 +4,8 @@ A pure-NumPy reproduction of "A Hierarchical Neural Model of Data
 Prefetching" (Shi et al., ASPLOS 2021).  The package is layered:
 
 - trace layer: :mod:`voyager.traces`, :mod:`voyager.vocab`,
-  :mod:`voyager.synthetic`
+  :mod:`voyager.synthetic` (the workload-zoo registry),
+  :mod:`voyager.ingest` (external ChampSim/ML-DPC trace formats)
 - model layer: :mod:`voyager.embeddings`, :mod:`voyager.model`
 - training/eval layer: :mod:`voyager.labeling`, :mod:`voyager.train`,
   :mod:`voyager.eval`
@@ -20,11 +21,12 @@ Prefetching" (Shi et al., ASPLOS 2021).  The package is layered:
 
 from voyager.baselines import NextLinePrefetcher, StridePrefetcher
 from voyager.infer import InferenceEngine, LSTMState
-from voyager.serve import (
-    PrefetchResponse,
-    PrefetchServer,
-    ServeConfig,
-    ServerStats,
+from voyager.ingest import (
+    ExternalRecord,
+    IngestFormat,
+    IngestStats,
+    read_trace,
+    write_records,
 )
 from voyager.labeling import LabelConfig, make_labels
 from voyager.model import (
@@ -32,6 +34,12 @@ from voyager.model import (
     ModelConfig,
     load_checkpoint,
     save_checkpoint,
+)
+from voyager.serve import (
+    PrefetchResponse,
+    PrefetchServer,
+    ServeConfig,
+    ServerStats,
 )
 from voyager.sim import (
     ArrayCache,
@@ -42,6 +50,7 @@ from voyager.sim import (
     SimResult,
     simulate,
 )
+from voyager.synthetic import REGISTRY, WORKLOADS, WorkloadSpec, generate
 from voyager.traces import (
     BLOCK_BITS,
     NUM_OFFSETS,
@@ -58,10 +67,15 @@ __version__ = "0.1.0"
 __all__ = [
     "BLOCK_BITS",
     "NUM_OFFSETS",
+    "REGISTRY",
+    "WORKLOADS",
     "ArrayCache",
     "CacheConfig",
+    "ExternalRecord",
     "HierarchicalModel",
     "InferenceEngine",
+    "IngestFormat",
+    "IngestStats",
     "LSTMState",
     "LabelConfig",
     "MemoryAccess",
@@ -77,12 +91,16 @@ __all__ = [
     "SimResult",
     "StridePrefetcher",
     "Vocab",
+    "WorkloadSpec",
+    "generate",
     "join_address",
     "load_checkpoint",
     "make_labels",
     "parse_trace",
     "parse_trace_line",
+    "read_trace",
     "save_checkpoint",
     "simulate",
     "split_address",
+    "write_records",
 ]

@@ -41,6 +41,7 @@ identical metric values (wall-clock fields aside).
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
 import sys
@@ -219,6 +220,26 @@ def bench_cell(
         # recorded so the perf cliff is visible in the report.
         entry["stride_fallback"] = bool(getattr(prefetcher, "fallback", False))
     return entry
+
+
+def profile_with_workloads(
+    profile: BenchProfile, spec: Optional[str]
+) -> BenchProfile:
+    """Apply a ``--workloads`` CLI override to a profile.
+
+    ``spec`` is a comma-separated list of registry workload names (or
+    ``None``/empty for no override).  Unknown names raise the
+    registry's listing :class:`ValueError`, which the CLI turns into a
+    clean exit-1 — never a traceback.
+    """
+    if not spec:
+        return profile
+    names = tuple(name.strip() for name in spec.split(",") if name.strip())
+    if not names:
+        raise ValueError(f"--workloads: empty workload list {spec!r}")
+    for name in names:
+        synthetic.resolve(name)
+    return dataclasses.replace(profile, workloads=names)
 
 
 def resolve_jobs(jobs: Union[int, str]) -> int:
@@ -777,6 +798,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--out", default=BENCH_FILENAME)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--workloads",
+        default=None,
+        help="comma-separated registry workloads to sweep "
+        "(default: the whole registry)",
+    )
+    parser.add_argument(
         "--jobs",
         default="1",
         help="parallel bench cells: an integer or 'auto' (cpu count)",
@@ -823,7 +850,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    profile = _profile_by_name(args.profile)
+    try:
+        profile = profile_with_workloads(
+            _profile_by_name(args.profile), args.workloads
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     report = run_bench(
         profile,
         seed=args.seed,

@@ -2,12 +2,18 @@
 
 Subcommands:
 
-- ``gen`` — write a synthetic trace file:
+- ``gen`` — write a synthetic trace file (any registry workload):
   ``python -m voyager gen stride --out trace.txt -n 2000``
+- ``workloads`` — list the workload registry with descriptions
+- ``ingest`` — convert an external ChampSim/ML-DPC-style CSV trace
+  (plain or gzip, configurable column order) into the native format,
+  printing summary stats:
+  ``python -m voyager ingest --input llc.csv.gz --out trace.txt``
 - ``train`` — train the hierarchical model on a trace, print metrics,
   optionally save a checkpoint:
   ``python -m voyager train --trace trace.txt --save ckpt/model``
-- ``simulate`` — replay a trace through the prefetch simulator with a
+- ``simulate`` — replay a trace (from a file, or a registry workload
+  by name via ``--workload``) through the prefetch simulator with a
   baseline, a checkpointed neural model, or a distilled table
   (``--prefetcher table --table tables.json``):
   ``python -m voyager simulate --trace trace.txt --checkpoint ckpt/model``
@@ -53,6 +59,7 @@ from voyager.bench import (
     check_distill_budget,
     check_sim_budget,
     preserve_sections,
+    profile_with_workloads,
     run_bench,
     run_distill_frontier,
     validate_report,
@@ -66,6 +73,7 @@ from voyager.distill import (
     distill_checkpoint,
 )
 from voyager.eval import evaluate, simulate_model
+from voyager.ingest import ON_ERROR_POLICIES, IngestFormat, read_trace
 from voyager.labeling import LabelConfig
 from voyager.loadgen import add_serve_bench_args, run_serve_bench, serve_trace
 from voyager.model import (
@@ -115,10 +123,52 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command")
 
     gen = sub.add_parser("gen", help="generate a synthetic trace file")
-    gen.add_argument("workload", choices=synthetic.WORKLOADS)
-    gen.add_argument("--out", required=True, help="output trace path")
+    gen.add_argument(
+        "workload",
+        metavar="WORKLOAD",
+        help=f"registry workload, one of: {', '.join(synthetic.WORKLOADS)}",
+    )
+    gen.add_argument("--out", required=True, help="output trace path (.gz ok)")
     gen.add_argument("-n", "--length", type=int, default=2000)
     gen.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser(
+        "workloads", help="list the workload registry with descriptions"
+    )
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="convert an external ChampSim/ML-DPC CSV trace to native format",
+    )
+    ingest.add_argument(
+        "--input",
+        "--in",
+        dest="input",
+        required=True,
+        help="external trace file (CSV, plain or .gz)",
+    )
+    ingest.add_argument(
+        "--out", required=True, help="native trace output path (.gz ok)"
+    )
+    ingest.add_argument(
+        "--columns",
+        default=",".join(IngestFormat().columns),
+        help="comma-separated per-line field order; must include "
+        "'addr' and 'pc' (default: %(default)s)",
+    )
+    ingest.add_argument(
+        "--on-error",
+        choices=ON_ERROR_POLICIES,
+        default="strict",
+        help="malformed-line policy: strict raises with the line "
+        "number, skip counts and warns (default: strict)",
+    )
+    ingest.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="stop after this many parsed records",
+    )
 
     tr = sub.add_parser("train", help="train the model on a trace")
     tr.add_argument("--trace", required=True, help="pc,address trace file")
@@ -136,7 +186,27 @@ def build_parser() -> argparse.ArgumentParser:
     sim = sub.add_parser(
         "simulate", help="trace-driven cache simulation of a prefetcher"
     )
-    sim.add_argument("--trace", required=True, help="pc,address trace file")
+    trace_source = sim.add_mutually_exclusive_group(required=True)
+    trace_source.add_argument("--trace", help="pc,address trace file")
+    trace_source.add_argument(
+        "--workload",
+        metavar="WORKLOAD",
+        help="generate a registry workload instead of reading a file "
+        f"(one of: {', '.join(synthetic.WORKLOADS)})",
+    )
+    sim.add_argument(
+        "-n",
+        "--length",
+        type=int,
+        default=2000,
+        help="generated workload length (with --workload; default: 2000)",
+    )
+    sim.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="generated workload seed (with --workload; default: 0)",
+    )
     source = sim.add_mutually_exclusive_group(required=True)
     source.add_argument(
         "--checkpoint", help="neural model checkpoint prefix (from train --save)"
@@ -218,6 +288,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--out", default=BENCH_FILENAME)
     bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--workloads",
+        default=None,
+        help="comma-separated registry workloads to sweep "
+        "(default: the whole registry)",
+    )
     bench.add_argument(
         "--jobs",
         default="1",
@@ -323,6 +399,31 @@ def run_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_workloads(args: argparse.Namespace) -> int:
+    for spec in synthetic.REGISTRY.values():
+        print(f"{spec.name:16s} {spec.description}")
+    return 0
+
+
+def run_ingest(args: argparse.Namespace) -> int:
+    fmt = IngestFormat.from_spec(args.columns, on_error=args.on_error)
+    if args.limit is not None and args.limit < 1:
+        raise ValueError(f"--limit must be >= 1, got {args.limit}")
+    trace, stats = read_trace(args.input, fmt, limit=args.limit)
+    if not trace:
+        raise ValueError(
+            f"{args.input}: no records parsed "
+            f"({stats.lines} lines, {stats.skipped} skipped)"
+        )
+    write_trace(trace, args.out)
+    print(
+        f"ingested {args.input} -> {args.out} "
+        f"({len(trace)} accesses, columns={','.join(fmt.columns)})"
+    )
+    print(stats.summary())
+    return 0
+
+
 def run_training(args: argparse.Namespace) -> int:
     trace = parse_trace(args.trace)
     dataset = build_dataset(
@@ -390,7 +491,10 @@ def run_simulate(args: argparse.Namespace) -> int:
             "--prefetcher table needs --table FILE (build one with "
             "'python -m voyager distill')"
         )
-    trace = parse_trace(args.trace)
+    if args.workload:
+        trace = synthetic.generate(args.workload, args.length, seed=args.seed)
+    else:
+        trace = parse_trace(args.trace)
     sim_config = _sim_config(args)
     if args.prefetcher == "table":
         table = DistilledTable.load(args.table)
@@ -440,6 +544,7 @@ def run_distill(args: argparse.Namespace) -> int:
 
 def run_bench_cmd(args: argparse.Namespace) -> int:
     profile = SMOKE_PROFILE if args.smoke or args.profile == "smoke" else FULL_PROFILE
+    profile = profile_with_workloads(profile, args.workloads)
     report = run_bench(
         profile, seed=args.seed, jobs=args.jobs, profile_sim=args.profile_sim
     )
@@ -523,13 +628,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not args.command:
         parser.print_usage(sys.stderr)
         print(
-            "error: provide a subcommand: gen, train, simulate, distill, "
-            "bench, serve or serve-bench",
+            "error: provide a subcommand: gen, workloads, ingest, train, "
+            "simulate, distill, bench, serve or serve-bench",
             file=sys.stderr,
         )
         return 2
     handlers = {
         "gen": run_generate,
+        "workloads": run_workloads,
+        "ingest": run_ingest,
         "train": run_training,
         "simulate": run_simulate,
         "distill": run_distill,

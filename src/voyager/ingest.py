@@ -1,0 +1,378 @@
+"""Ingestion layer for external load-trace formats (ChampSim / ML-DPC).
+
+The ML-DPC competition traces (and the ChampSim runs behind Hashemi et
+al. 2018 and the Procformer line) are CSV records of
+
+    instr_id, cycle, addr, pc, hit
+
+one demand load per line, decimal or ``0x``-hex tokens, comma- or
+whitespace-separated, optionally gzip-compressed.  This module reads
+them as a stream (constant memory), normalises each record into the
+internal :class:`~voyager.traces.MemoryAccess` representation — byte
+addresses masked to the modelled 48-bit space and split into
+page/offset by the existing address utilities — and can write records
+back out for round-tripping.
+
+Column order is configurable (:class:`IngestFormat`), because real
+trace dumps disagree about it; malformed lines either raise with the
+offending line number (``on_error='strict'``) or are counted and
+skipped with a single :class:`RuntimeWarning` (``on_error='skip'``).
+Everything observed during a pass is accumulated in
+:class:`IngestStats`, which the ``python -m voyager ingest`` subcommand
+prints as its conversion summary.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from voyager.traces import (
+    ADDRESS_MASK,
+    MemoryAccess,
+    TraceParseError,
+    open_text,
+    split_address,
+)
+
+#: Canonical ML-DPC column order.
+DEFAULT_COLUMNS = ("instr_id", "cycle", "addr", "pc", "hit")
+
+#: Every column name an :class:`IngestFormat` may declare.
+KNOWN_COLUMNS = frozenset(DEFAULT_COLUMNS)
+
+#: Malformed-line policies.
+ON_ERROR_POLICIES = ("strict", "skip")
+
+
+@dataclass(frozen=True)
+class IngestFormat:
+    """Shape of an external trace file.
+
+    ``columns`` declares the per-line field order; ``addr`` and ``pc``
+    are mandatory (they are what the internal representation keeps),
+    ``instr_id``/``cycle``/``hit`` are optional and default per record
+    when absent.  Lines with *more* tokens than declared columns are
+    malformed — silent extra fields would mean a misdeclared format.
+    """
+
+    columns: Tuple[str, ...] = DEFAULT_COLUMNS
+    on_error: str = "strict"
+
+    def __post_init__(self) -> None:
+        columns = tuple(self.columns)
+        object.__setattr__(self, "columns", columns)
+        unknown = [c for c in columns if c not in KNOWN_COLUMNS]
+        if unknown:
+            raise ValueError(
+                f"unknown column(s) {unknown}; expected names from "
+                f"{sorted(KNOWN_COLUMNS)}"
+            )
+        if len(set(columns)) != len(columns):
+            raise ValueError(f"duplicate column in {columns}")
+        for required in ("addr", "pc"):
+            if required not in columns:
+                raise ValueError(f"columns must include {required!r}")
+        if self.on_error not in ON_ERROR_POLICIES:
+            raise ValueError(
+                f"on_error must be one of {ON_ERROR_POLICIES}, "
+                f"got {self.on_error!r}"
+            )
+
+    @classmethod
+    def from_spec(cls, spec: str, on_error: str = "strict") -> "IngestFormat":
+        """Parse a CLI column spec like ``'pc,addr'`` or ``'instr_id,cycle,addr,pc,hit'``."""
+        columns = tuple(c.strip() for c in spec.split(",") if c.strip())
+        if not columns:
+            raise ValueError(f"empty column spec {spec!r}")
+        return cls(columns=columns, on_error=on_error)
+
+
+@dataclass(frozen=True)
+class ExternalRecord:
+    """One normalised external trace record (pre-address-split)."""
+
+    pc: int
+    addr: int
+    instr_id: int = 0
+    cycle: int = 0
+    hit: int = 0
+
+
+@dataclass
+class IngestStats:
+    """Everything one ingestion pass observed (the CLI summary)."""
+
+    lines: int = 0  # physical lines seen
+    records: int = 0  # successfully parsed records
+    skipped: int = 0  # malformed lines dropped (skip mode only)
+    blank: int = 0  # empty / comment lines
+    masked: int = 0  # addresses truncated to the 48-bit space
+    hits: int = 0
+    misses: int = 0
+    cycle_min: Optional[int] = None
+    cycle_max: Optional[int] = None
+    _pcs: set = field(default_factory=set, repr=False)
+    _pages: set = field(default_factory=set, repr=False)
+
+    @property
+    def unique_pcs(self) -> int:
+        return len(self._pcs)
+
+    @property
+    def unique_pages(self) -> int:
+        return len(self._pages)
+
+    def observe(self, record: ExternalRecord) -> None:
+        self.records += 1
+        if record.hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        if self.cycle_min is None or record.cycle < self.cycle_min:
+            self.cycle_min = record.cycle
+        if self.cycle_max is None or record.cycle > self.cycle_max:
+            self.cycle_max = record.cycle
+        self._pcs.add(record.pc)
+        self._pages.add(split_address(record.addr & ADDRESS_MASK)[0])
+
+    def summary(self) -> str:
+        """One-line human summary for the CLI."""
+        span = (
+            f"cycles={self.cycle_min}..{self.cycle_max}"
+            if self.cycle_min is not None
+            else "cycles=n/a"
+        )
+        return (
+            f"records={self.records} skipped={self.skipped} "
+            f"blank={self.blank} masked={self.masked} "
+            f"pcs={self.unique_pcs} pages={self.unique_pages} "
+            f"hits={self.hits} misses={self.misses} {span}"
+        )
+
+
+def _parse_token(token: str) -> int:
+    token = token.strip()
+    base = 16 if token.lower().startswith("0x") else 10
+    return int(token, base)
+
+
+#: Per-column token parsers; ``hit`` additionally accepts hit/miss words.
+_HIT_WORDS = {"hit": 1, "miss": 0, "1": 1, "0": 0}
+
+
+def _parse_hit(token: str) -> int:
+    value = _HIT_WORDS.get(token.strip().lower())
+    if value is None:
+        raise ValueError(f"hit field must be 0/1/hit/miss, got {token!r}")
+    return value
+
+
+def parse_record_line(
+    line: str, fmt: IngestFormat, lineno: int = 0
+) -> ExternalRecord:
+    """Parse one external trace line under ``fmt``'s column order.
+
+    Raises :class:`TraceParseError` (with the line number) for token
+    count mismatches, non-integer fields, or negative pc/addr — the
+    caller decides whether that is fatal (strict) or skippable.
+    """
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        raise TraceParseError(f"line {lineno}: empty or comment line")
+    tokens = stripped.replace(",", " ").split()
+    if len(tokens) != len(fmt.columns):
+        raise TraceParseError(
+            f"line {lineno}: expected {len(fmt.columns)} fields "
+            f"({','.join(fmt.columns)}), got {len(tokens)}: {line!r}"
+        )
+    values: Dict[str, int] = {}
+    for name, token in zip(fmt.columns, tokens):
+        try:
+            values[name] = (
+                _parse_hit(token) if name == "hit" else _parse_token(token)
+            )
+        except ValueError as exc:
+            raise TraceParseError(f"line {lineno}: {name}: {exc}") from exc
+    if values["pc"] < 0 or values["addr"] < 0:
+        raise TraceParseError(
+            f"line {lineno}: pc and addr must be non-negative"
+        )
+    return ExternalRecord(
+        pc=values["pc"],
+        addr=values["addr"],
+        instr_id=values.get("instr_id", 0),
+        cycle=values.get("cycle", 0),
+        hit=values.get("hit", 0),
+    )
+
+
+def iter_records(
+    lines: Iterable[str],
+    fmt: Optional[IngestFormat] = None,
+    stats: Optional[IngestStats] = None,
+) -> Iterator[ExternalRecord]:
+    """Stream records from an iterable of lines under ``fmt``.
+
+    Strict mode re-raises the first :class:`TraceParseError`; skip mode
+    counts the line in ``stats.skipped`` and warns once per pass.
+    Blank/comment lines are never an error in either mode.
+    """
+    fmt = fmt or IngestFormat()
+    warned = False
+    for lineno, line in enumerate(lines, start=1):
+        if stats is not None:
+            stats.lines += 1
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            if stats is not None:
+                stats.blank += 1
+            continue
+        try:
+            record = parse_record_line(line, fmt, lineno)
+        except TraceParseError:
+            if fmt.on_error == "strict":
+                raise
+            if stats is not None:
+                stats.skipped += 1
+            if not warned:
+                warnings.warn(
+                    f"skipping malformed trace line(s), first at line "
+                    f"{lineno}: {stripped!r}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                warned = True
+            continue
+        if stats is not None:
+            stats.observe(record)
+        yield record
+
+
+def record_to_access(
+    record: ExternalRecord, stats: Optional[IngestStats] = None
+) -> MemoryAccess:
+    """Normalise a record into the internal representation.
+
+    The byte address is masked to the modelled 48-bit space (ChampSim
+    semantics — the tag bits above 48 are not address); the mask event
+    is counted so a trace full of garbage high bits is visible in the
+    summary.  The PC is kept verbatim: it is a token, not an address.
+    """
+    addr = record.addr & ADDRESS_MASK
+    if stats is not None and addr != record.addr:
+        stats.masked += 1
+    return MemoryAccess.from_pc_address(record.pc, addr)
+
+
+def iter_accesses(
+    lines: Iterable[str],
+    fmt: Optional[IngestFormat] = None,
+    stats: Optional[IngestStats] = None,
+) -> Iterator[MemoryAccess]:
+    """Stream normalised accesses straight from external trace lines."""
+    for record in iter_records(lines, fmt, stats):
+        yield record_to_access(record, stats)
+
+
+def read_trace(
+    path: Union[str, Path],
+    fmt: Optional[IngestFormat] = None,
+    limit: Optional[int] = None,
+) -> Tuple[List[MemoryAccess], IngestStats]:
+    """Ingest an external trace file (plain or ``.gz``).
+
+    Returns the normalised trace and the pass's :class:`IngestStats`.
+    ``limit`` caps the number of records read (the file is only
+    consumed that far — streaming, not read-then-truncate).
+    """
+    stats = IngestStats()
+    trace: List[MemoryAccess] = []
+    with open_text(path) as fh:
+        for access in iter_accesses(fh, fmt, stats):
+            trace.append(access)
+            if limit is not None and len(trace) >= limit:
+                break
+    return trace, stats
+
+
+def read_records(
+    path: Union[str, Path], fmt: Optional[IngestFormat] = None
+) -> Tuple[List[ExternalRecord], IngestStats]:
+    """Read raw external records (no normalisation) from a file."""
+    stats = IngestStats()
+    with open_text(path) as fh:
+        return list(iter_records(fh, fmt, stats)), stats
+
+
+def format_record(record: ExternalRecord, fmt: Optional[IngestFormat] = None) -> str:
+    """Render one record as a CSV line under ``fmt``'s column order.
+
+    ``addr`` and ``pc`` are written as ``0x`` hex (the convention of
+    every dump we have seen); counters stay decimal.
+    """
+    fmt = fmt or IngestFormat()
+    parts = []
+    for name in fmt.columns:
+        value = getattr(record, name)
+        parts.append(f"0x{value:x}" if name in ("addr", "pc") else str(value))
+    return ",".join(parts)
+
+
+def write_records(
+    records: Iterable[ExternalRecord],
+    path: Union[str, Path],
+    fmt: Optional[IngestFormat] = None,
+) -> int:
+    """Write records as external-format CSV (``.gz`` ok); returns count."""
+    fmt = fmt or IngestFormat()
+    count = 0
+    with open_text(path, "w") as fh:
+        for record in records:
+            fh.write(format_record(record, fmt) + "\n")
+            count += 1
+    return count
+
+
+def trace_to_records(
+    trace: Iterable[MemoryAccess],
+    start_cycle: int = 0,
+    cycle_step: int = 1,
+) -> List[ExternalRecord]:
+    """Lift a native trace into external records (export direction).
+
+    Synthesises the fields the native format does not carry: sequential
+    ``instr_id``s, an arithmetic ``cycle`` ramp, and ``hit=0`` (a load
+    trace records demand misses).
+    """
+    return [
+        ExternalRecord(
+            pc=acc.pc,
+            addr=acc.address,
+            instr_id=i,
+            cycle=start_cycle + i * cycle_step,
+            hit=0,
+        )
+        for i, acc in enumerate(trace)
+    ]
+
+
+__all__ = [
+    "DEFAULT_COLUMNS",
+    "KNOWN_COLUMNS",
+    "ON_ERROR_POLICIES",
+    "ExternalRecord",
+    "IngestFormat",
+    "IngestStats",
+    "format_record",
+    "iter_accesses",
+    "iter_records",
+    "parse_record_line",
+    "read_records",
+    "read_trace",
+    "record_to_access",
+    "trace_to_records",
+    "write_records",
+]

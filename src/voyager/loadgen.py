@@ -42,6 +42,7 @@ from voyager.bench import (
     _train_neural,
     derive_cell_seed,
     load_report,
+    profile_with_workloads,
     validate_serving,
     write_bench,
 )
@@ -325,6 +326,12 @@ def add_serve_bench_args(parser: argparse.ArgumentParser) -> None:
         default="smoke",
         help="training budget / workload size (default: smoke)",
     )
+    parser.add_argument(
+        "--workloads",
+        default=None,
+        help="comma-separated registry workloads for the stream mix "
+        "(default: the whole registry)",
+    )
     parser.add_argument("--streams", type=int, default=8)
     parser.add_argument(
         "--accesses",
@@ -361,8 +368,11 @@ def run_serve_bench(args: argparse.Namespace) -> int:
         degree=args.degree,
         max_batch=args.max_batch,
     )
+    profile = profile_with_workloads(
+        _profile_by_name(args.profile), getattr(args, "workloads", None)
+    )
     serving = run_loadgen(
-        _profile_by_name(args.profile),
+        profile,
         config,
         seed=args.seed,
         dtype=np.float32 if args.dtype == "float32" else np.float64,
@@ -411,7 +421,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         description="Benchmark the online serving layer under multi-stream load.",
     )
     add_serve_bench_args(parser)
-    return run_serve_bench(parser.parse_args(argv))
+    try:
+        return run_serve_bench(parser.parse_args(argv))
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 __all__ = [

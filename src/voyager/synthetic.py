@@ -1,20 +1,68 @@
-"""Deterministic synthetic workload generators for tests and demos.
+"""Deterministic synthetic workload zoo for tests, benches and serving.
 
 Each generator returns a list of :class:`~voyager.traces.MemoryAccess`
 and is fully determined by its arguments (including ``seed`` where
 randomness is involved), so fixtures and golden tests are reproducible.
+
+Workloads are registered in one :data:`REGISTRY` that ``bench``,
+``simulate --workload`` and the serving load generator all resolve by
+name — adding a generator here (plus a :func:`register` call) makes it
+show up in the bench grid, the CLI and the loadgen stream mix without
+any per-module plumbing.  :data:`WORKLOADS` stays the canonical ordered
+name tuple for back-compat.
 """
 
 from __future__ import annotations
 
-from typing import List
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 
 from voyager.traces import NUM_OFFSETS, MemoryAccess, join_address
 
-#: Names accepted by :func:`generate`.
-WORKLOADS = ("stride", "page_cycle", "random_walk")
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One registry entry: a named, seeded trace generator."""
+
+    name: str
+    fn: Callable[[int, int], List[MemoryAccess]]  # (n, seed) -> trace
+    description: str
+
+
+#: Name -> spec, in registration order (which is also bench-grid order).
+REGISTRY: Dict[str, WorkloadSpec] = {}
+
+
+def register(
+    name: str, fn: Callable[[int, int], List[MemoryAccess]], description: str
+) -> None:
+    """Register a workload generator under ``name`` (must be unique)."""
+    if name in REGISTRY:
+        raise ValueError(f"workload {name!r} already registered")
+    REGISTRY[name] = WorkloadSpec(name=name, fn=fn, description=description)
+
+
+def workload_names() -> Tuple[str, ...]:
+    """All registered workload names, in registration order."""
+    return tuple(REGISTRY)
+
+
+def resolve(workload: str) -> WorkloadSpec:
+    """Look up a registered workload; raise a listing error when unknown."""
+    spec = REGISTRY.get(workload)
+    if spec is None:
+        raise ValueError(
+            f"unknown workload {workload!r}; expected one of "
+            f"{', '.join(REGISTRY)}"
+        )
+    return spec
+
+
+def generate(workload: str, n: int, seed: int = 0) -> List[MemoryAccess]:
+    """Generate a named workload (see :data:`WORKLOADS` / :data:`REGISTRY`)."""
+    return resolve(workload).fn(n, seed)
 
 
 def stride_trace(
@@ -94,14 +142,297 @@ def random_walk_trace(
     return accesses
 
 
-def generate(workload: str, n: int, seed: int = 0) -> List[MemoryAccess]:
-    """Generate a named workload (see :data:`WORKLOADS`)."""
-    if workload == "stride":
-        return stride_trace(n)
-    if workload == "page_cycle":
-        return page_cycle_trace(n)
-    if workload == "random_walk":
-        return random_walk_trace(n, seed=seed)
-    raise ValueError(
-        f"unknown workload {workload!r}; expected one of {WORKLOADS}"
+def multi_phase_trace(
+    n: int,
+    seed: int = 0,
+    phases: int = 4,
+    min_phase: int = 32,
+) -> List[MemoryAccess]:
+    """Regime-shifting trace: concatenated generators with seeded boundaries.
+
+    The trace is split into ``phases`` segments at seeded boundaries
+    (jittered around the even split, each at least ``min_phase // 2``
+    accesses); phase ``k`` runs one of the
+    base generators — stride, page_cycle, random_walk, cycling — with
+    per-phase parameters (stride length, page set, walk region) drawn
+    from the phase RNG, so every boundary is a genuine distribution
+    shift.  Each phase also gets a distinct PC block, the way a program
+    entering a new loop nest would.  This is the workload for measuring
+    adaptation lag: a predictor trained on one regime meets another.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if phases < 1:
+        raise ValueError("phases must be >= 1")
+    rng = np.random.default_rng(seed)
+    phases = min(phases, max(1, n // max(min_phase, 1)))
+    # Seeded boundaries: each cut jitters around the even split by up to
+    # a quarter segment, so segments stay >= min_phase // 2 but the
+    # shift points move with the seed.
+    seg = n // phases
+    cuts = sorted(
+        {
+            min(max(k * seg + int(rng.integers(-(seg // 4), seg // 4 + 1)), 1), n - 1)
+            for k in range(1, phases)
+        }
     )
+    bounds = [0] + cuts + [n]
+    trace: List[MemoryAccess] = []
+    for k in range(len(bounds) - 1):
+        length = bounds[k + 1] - bounds[k]
+        if length <= 0:
+            continue
+        kind = k % 3
+        base_pc = 0x700000 + 0x10000 * k
+        if kind == 0:
+            trace.extend(
+                stride_trace(
+                    length,
+                    stride_blocks=int(rng.integers(1, 5)),
+                    start_page=int(rng.integers(16, 64)),
+                    num_pcs=2,
+                    base_pc=base_pc,
+                )
+            )
+        elif kind == 1:
+            trace.extend(
+                page_cycle_trace(
+                    length,
+                    pages=int(rng.integers(3, 7)),
+                    start_page=int(rng.integers(64, 128)),
+                    page_gap=int(rng.integers(3, 11)),
+                    base_pc=base_pc,
+                )
+            )
+        else:
+            trace.extend(
+                random_walk_trace(
+                    length,
+                    seed=int(rng.integers(0, 2**31)),
+                    pages=int(rng.integers(8, 33)),
+                    start_page=int(rng.integers(128, 256)),
+                    base_pc=base_pc,
+                )
+            )
+    return trace
+
+
+def interleaved_mix_trace(
+    n: int,
+    seed: int = 0,
+    programs: int = 3,
+    policy: str = "round_robin",
+) -> List[MemoryAccess]:
+    """Multi-program mix: per-program streams interleaved into one trace.
+
+    Program ``i`` runs its own generator (stride / page_cycle /
+    random_walk, cycling) in a disjoint PC block and page region, so the
+    mix looks like an SMT core's shared-cache access stream.  With
+    ``policy='round_robin'`` the schedule is a fixed rotation; with
+    ``policy='random'`` a seeded scheduler picks the next program each
+    access — same per-program streams, jittered arrival order.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if programs < 1:
+        raise ValueError("programs must be >= 1")
+    if policy not in ("round_robin", "random"):
+        raise ValueError(
+            f"policy must be 'round_robin' or 'random', got {policy!r}"
+        )
+    rng = np.random.default_rng(seed)
+    per_program = (n + programs - 1) // programs
+    streams: List[List[MemoryAccess]] = []
+    for i in range(programs):
+        kind = i % 3
+        base_pc = 0x800000 + 0x20000 * i
+        start_page = 1024 + 512 * i
+        if kind == 0:
+            streams.append(
+                stride_trace(
+                    per_program,
+                    stride_blocks=1 + i,
+                    start_page=start_page,
+                    num_pcs=2,
+                    base_pc=base_pc,
+                )
+            )
+        elif kind == 1:
+            streams.append(
+                page_cycle_trace(
+                    per_program,
+                    pages=4,
+                    start_page=start_page,
+                    page_gap=5,
+                    base_pc=base_pc,
+                )
+            )
+        else:
+            streams.append(
+                random_walk_trace(
+                    per_program,
+                    seed=seed + i,
+                    pages=16,
+                    start_page=start_page,
+                    base_pc=base_pc,
+                )
+            )
+    positions = [0] * programs
+    trace: List[MemoryAccess] = []
+    turn = 0
+    while len(trace) < n:
+        if policy == "round_robin":
+            order = range(turn, turn + programs)
+            turn += 1
+        else:
+            order = [int(rng.integers(0, programs))] + list(range(programs))
+        for idx in order:
+            i = idx % programs
+            if positions[i] < len(streams[i]):
+                trace.append(streams[i][positions[i]])
+                positions[i] += 1
+                break
+        else:  # every stream exhausted (rounding) — recycle program 0
+            positions = [0] * programs
+    return trace[:n]
+
+
+def pointer_chase_trace(
+    n: int,
+    seed: int = 0,
+    nodes: int = 256,
+    start_page: int = 4096,
+    base_pc: int = 0x900000,
+) -> List[MemoryAccess]:
+    """Linked-list traversal: each access is the previous node's successor.
+
+    A seeded random cyclic permutation over ``nodes`` heap slots defines
+    the ``next`` pointers, and a second seeded shuffle scatters the
+    slots across pages — so consecutive accesses share no spatial
+    locality at all (stride and next-line are useless), while the
+    successor function itself is a fixed learnable mapping: exactly the
+    irregular, dependent-load pattern the paper's neural history models
+    target.  One PC (the chase loop) issues every load.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if nodes < 2:
+        raise ValueError("nodes must be >= 2")
+    rng = np.random.default_rng(seed)
+    # Single Hamiltonian cycle: visit order is a seeded permutation and
+    # each node points at the next one, so the chase covers all nodes.
+    order = rng.permutation(nodes)
+    succ = np.empty(nodes, dtype=np.int64)
+    succ[order] = np.roll(order, -1)
+    # Scatter node slots over a page range (8 nodes per page).
+    slots = rng.permutation(nodes)
+    trace: List[MemoryAccess] = []
+    node = int(order[0])
+    for _ in range(n):
+        slot = int(slots[node])
+        page = start_page + slot // 8
+        offset = (slot % 8) * (NUM_OFFSETS // 8)
+        trace.append(
+            MemoryAccess.from_pc_address(base_pc, join_address(page, offset))
+        )
+        node = int(succ[node])
+    return trace
+
+
+def zipf_db_trace(
+    n: int,
+    seed: int = 0,
+    blocks: int = 1024,
+    alpha: float = 1.2,
+    scan_fraction: float = 0.25,
+    scan_len: int = 12,
+    start_page: int = 8192,
+    base_pc: int = 0xA00000,
+) -> List[MemoryAccess]:
+    """Database block accesses: zipfian point lookups + sequential scans.
+
+    Models a columnar store's buffer-pool traffic: most operations are
+    point lookups whose block popularity is zipfian with exponent
+    ``alpha`` (rank permuted by seed so hot blocks are scattered over
+    the table, not clustered at low addresses), and a ``scan_fraction``
+    of operations instead run a ``scan_len``-block sequential range scan
+    starting at a zipf-chosen block.  Lookups and scans issue from
+    distinct PCs, giving a PC-localised signal — scans are perfectly
+    next-line-predictable, lookups only statistically so.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if blocks < 2:
+        raise ValueError("blocks must be >= 2")
+    if not 0.0 <= scan_fraction <= 1.0:
+        raise ValueError("scan_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, blocks + 1, dtype=np.float64)
+    pmf = ranks**-alpha
+    pmf /= pmf.sum()
+    placement = rng.permutation(blocks)  # rank -> table block
+    pc_lookup = base_pc
+    pc_scan = base_pc + 4
+    trace: List[MemoryAccess] = []
+    while len(trace) < n:
+        rank = int(rng.choice(blocks, p=pmf))
+        block = int(placement[rank])
+        if rng.random() < scan_fraction:
+            for step in range(min(scan_len, n - len(trace))):
+                b = (block + step) % blocks
+                page, offset = divmod(
+                    start_page * NUM_OFFSETS + b, NUM_OFFSETS
+                )
+                trace.append(
+                    MemoryAccess.from_pc_address(
+                        pc_scan, join_address(page, offset)
+                    )
+                )
+        else:
+            page, offset = divmod(start_page * NUM_OFFSETS + block, NUM_OFFSETS)
+            trace.append(
+                MemoryAccess.from_pc_address(
+                    pc_lookup, join_address(page, offset)
+                )
+            )
+    return trace
+
+
+register(
+    "stride",
+    lambda n, seed: stride_trace(n),
+    "unit-stride sequential sweep (next-line-friendly)",
+)
+register(
+    "page_cycle",
+    lambda n, seed: page_cycle_trace(n),
+    "cycle over far-apart pages (page-head workload)",
+)
+register(
+    "random_walk",
+    lambda n, seed: random_walk_trace(n, seed=seed),
+    "seeded random walk over a bounded page range (hard)",
+)
+register(
+    "multi_phase",
+    lambda n, seed: multi_phase_trace(n, seed=seed),
+    "regime-shifting phases with seeded boundaries",
+)
+register(
+    "interleaved_mix",
+    lambda n, seed: interleaved_mix_trace(n, seed=seed),
+    "round-robin multi-program mix with disjoint PC/page spaces",
+)
+register(
+    "pointer_chase",
+    lambda n, seed: pointer_chase_trace(n, seed=seed),
+    "linked-list chase over a scattered node cycle",
+)
+register(
+    "zipf_db",
+    lambda n, seed: zipf_db_trace(n, seed=seed),
+    "zipfian database block accesses: point lookups + range scans",
+)
+
+#: Names accepted by :func:`generate`, in registration (bench-grid) order.
+WORKLOADS = workload_names()

@@ -9,9 +9,10 @@ bits identify the page.  Following the paper we model 64-byte blocks
 
 from __future__ import annotations
 
+import gzip
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator, List, Tuple, Union
+from typing import IO, Iterable, Iterator, List, Tuple, Union
 
 #: Bits of a byte address that select a byte within a 64-byte cache block.
 BLOCK_BITS = 6
@@ -19,6 +20,10 @@ BLOCK_BITS = 6
 OFFSET_BITS = 6
 #: Number of distinct block offsets within a page (the offset vocabulary).
 NUM_OFFSETS = 1 << OFFSET_BITS
+#: Virtual address width the paper (and ChampSim) model: 48-bit.
+ADDRESS_BITS = 48
+#: Mask selecting the modelled 48-bit address space.
+ADDRESS_MASK = (1 << ADDRESS_BITS) - 1
 
 
 class TraceParseError(ValueError):
@@ -110,16 +115,33 @@ def iter_trace(lines: Iterable[str]) -> Iterator[MemoryAccess]:
         yield parse_trace_line(line, lineno)
 
 
+def open_text(path: Union[str, Path], mode: str = "r") -> IO[str]:
+    """Open a trace file for text I/O, transparently gzip for ``.gz`` paths.
+
+    Used by both the native format here and the external-format readers
+    in :mod:`voyager.ingest`, so every trace-touching code path shares
+    one compression convention.
+    """
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
 def parse_trace(source: Union[str, Path, Iterable[str]]) -> List[MemoryAccess]:
-    """Parse a full trace from a path or an iterable of lines."""
+    """Parse a full trace from a path (``.gz`` ok) or an iterable of lines."""
     if isinstance(source, (str, Path)):
-        with open(source, "r", encoding="utf-8") as fh:
+        with open_text(source) as fh:
             return list(iter_trace(fh))
     return list(iter_trace(source))
 
 
 def write_trace(accesses: Iterable[MemoryAccess], path: Union[str, Path]) -> None:
-    """Write a trace as ``0xPC,0xADDRESS`` lines (the canonical format)."""
-    with open(path, "w", encoding="utf-8") as fh:
+    """Write a trace as ``0xPC,0xADDRESS`` lines (the canonical format).
+
+    A ``.gz`` path writes gzip-compressed text, mirroring
+    :func:`parse_trace`.
+    """
+    with open_text(path, "w") as fh:
         for acc in accesses:
             fh.write(f"0x{acc.pc:x},0x{acc.address:x}\n")

@@ -3,8 +3,9 @@
 Every workload fixture is seeded per-test via the ``trace_factory``
 fixture, so tests are reproducible in isolation and under ``-p
 no:randomly``-style reordering.  To add a new workload, implement a
-generator in ``voyager/synthetic.py``, register it in
-``synthetic.WORKLOADS``, and it becomes available through the factory.
+generator in ``voyager/synthetic.py``, ``register()`` it, and it
+becomes available through the factory (and the bench grid, the CLI and
+the loadgen — the registry is the single source of workload names).
 
 Hypothesis runs under one of two registered profiles:
 
@@ -13,6 +14,14 @@ Hypothesis runs under one of two registered profiles:
   ``max_examples`` to keep the fast suite fast;
 - ``ci``: more examples, still derandomized, for the thorough pass
   (selected with ``HYPOTHESIS_PROFILE=ci`` in the CI workflow).
+
+Profiles are *registered* at import time but *selected* exactly once
+per pytest session, in :func:`pytest_configure` — selecting at import
+time raced against hypothesis's own plugin setup and could silently
+fall back to its default profile depending on conftest import order
+(under ``pytest-xdist`` each worker runs its own ``pytest_configure``,
+which is precisely once per worker process).  See ``tests/README.md``
+for the profile/fixture layout.
 
 Individual tests may still override ``max_examples`` with their own
 ``@settings``; they inherit the profile's other fields (no deadline,
@@ -23,6 +32,7 @@ again.
 from __future__ import annotations
 
 import os
+from pathlib import Path
 
 import pytest
 
@@ -37,9 +47,25 @@ try:
     settings.register_profile(
         "ci", max_examples=100, deadline=None, derandomize=True
     )
-    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+    _HAVE_HYPOTHESIS = True
 except ImportError:  # pragma: no cover - hypothesis is a test extra
-    pass
+    _HAVE_HYPOTHESIS = False
+
+
+def pytest_configure(config):
+    """Select the hypothesis profile once per session (or xdist worker)."""
+    if _HAVE_HYPOTHESIS:
+        settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+
+
+#: Checked-in sample trace files (external formats) used by the ingest
+#: harness and the CI ingest smoke step.
+FIXTURES_DIR = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture
+def fixtures_dir() -> Path:
+    return FIXTURES_DIR
 
 
 @pytest.fixture
@@ -47,7 +73,10 @@ def trace_factory():
     """Factory: ``trace_factory(workload, n=..., seed=...)`` -> trace.
 
     Seeds default to 0 so the same call in two tests yields the same
-    trace; pass an explicit seed for variation.
+    trace; pass an explicit seed for variation.  Extra ``kwargs`` reach
+    the underlying generator for the original three workloads (their
+    parameter spaces are part of the golden-test surface); registry
+    workloads added later take ``(n, seed)`` only.
     """
 
     def make(workload: str, n: int = 400, seed: int = 0, **kwargs):
@@ -57,7 +86,11 @@ def trace_factory():
             return synthetic.page_cycle_trace(n, **kwargs)
         if workload == "random_walk":
             return synthetic.random_walk_trace(n, seed=seed, **kwargs)
-        raise ValueError(f"unknown workload {workload!r}")
+        if kwargs:
+            raise TypeError(
+                f"workload {workload!r} takes no extra kwargs, got {kwargs}"
+            )
+        return synthetic.generate(workload, n, seed=seed)
 
     return make
 

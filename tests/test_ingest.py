@@ -1,0 +1,331 @@
+"""Ingestion harness: fixtures, format properties, CLI conversion.
+
+Three layers, mirroring the kernel/serving equivalence suites:
+
+- checked-in sample files (``tests/fixtures/``) pin the external
+  ChampSim/ML-DPC format the reader must keep accepting — plain and
+  gzip byte-for-byte copies of the same trace, plus a deliberately
+  dirty file for the malformed-line policies;
+- hypothesis properties pin the round-trip contract — ingest → write →
+  ingest is the identity for valid records under *any* declared column
+  permutation, and corrupted lines always raise (strict) or are always
+  counted (skip);
+- CLI tests pin the ``python -m voyager ingest`` conversion end-to-end
+  into a native trace the simulator accepts.
+"""
+
+import warnings
+
+import pytest
+
+pytest.importorskip("hypothesis")
+from hypothesis import given  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from voyager.cli import main  # noqa: E402
+from voyager.ingest import (  # noqa: E402
+    DEFAULT_COLUMNS,
+    ExternalRecord,
+    IngestFormat,
+    IngestStats,
+    format_record,
+    iter_records,
+    parse_record_line,
+    read_records,
+    read_trace,
+    record_to_access,
+    trace_to_records,
+    write_records,
+)
+from voyager.synthetic import generate  # noqa: E402
+from voyager.traces import ADDRESS_MASK, TraceParseError, parse_trace  # noqa: E402
+
+SAMPLE = "champsim_sample.csv"
+SAMPLE_GZ = "champsim_sample.csv.gz"
+MALFORMED = "champsim_malformed.csv"
+
+
+# ----------------------------------------------------------------------
+# checked-in fixtures
+# ----------------------------------------------------------------------
+def test_sample_fixture_parses(fixtures_dir):
+    trace, stats = read_trace(fixtures_dir / SAMPLE)
+    assert len(trace) == 600
+    assert stats.records == 600
+    assert stats.skipped == 0
+    assert stats.blank == 1  # the header comment
+    assert stats.hits == 120 and stats.misses == 480
+    assert (stats.cycle_min, stats.cycle_max) == (1000, 1000 + 599 * 3)
+
+
+def test_sample_gzip_equals_plain(fixtures_dir):
+    plain, _ = read_trace(fixtures_dir / SAMPLE)
+    gzipped, _ = read_trace(fixtures_dir / SAMPLE_GZ)
+    assert gzipped == plain
+
+
+def test_sample_normalises_to_generator_trace(fixtures_dir):
+    """The fixture is multi_phase(600, seed=42) — ingest must recover it."""
+    trace, _ = read_trace(fixtures_dir / SAMPLE)
+    assert trace == generate("multi_phase", 600, seed=42)
+
+
+def test_read_trace_limit_streams(fixtures_dir):
+    trace, stats = read_trace(fixtures_dir / SAMPLE, limit=50)
+    assert len(trace) == 50
+    assert stats.records == 50  # stopped reading, not read-then-truncated
+
+
+def test_malformed_fixture_strict_raises_with_lineno(fixtures_dir):
+    with pytest.raises(TraceParseError, match="line 3"):
+        read_trace(fixtures_dir / MALFORMED)
+
+
+def test_malformed_fixture_skip_counts_and_warns(fixtures_dir):
+    fmt = IngestFormat(on_error="skip")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        trace, stats = read_trace(fixtures_dir / MALFORMED, fmt)
+    assert len(trace) == 5  # 6 good lines minus the one given extra fields
+    assert stats.skipped == 4
+    assert stats.blank == 2  # comment + empty line
+    assert len(caught) == 1  # one warning per pass, not per line
+    assert issubclass(caught[0].category, RuntimeWarning)
+
+
+# ----------------------------------------------------------------------
+# format validation
+# ----------------------------------------------------------------------
+def test_format_rejects_unknown_duplicate_and_missing_columns():
+    with pytest.raises(ValueError, match="unknown column"):
+        IngestFormat(columns=("addr", "pc", "latency"))
+    with pytest.raises(ValueError, match="duplicate"):
+        IngestFormat(columns=("addr", "pc", "addr"))
+    with pytest.raises(ValueError, match="must include 'addr'"):
+        IngestFormat(columns=("pc", "cycle"))
+    with pytest.raises(ValueError, match="must include 'pc'"):
+        IngestFormat(columns=("addr", "cycle"))
+    with pytest.raises(ValueError, match="on_error"):
+        IngestFormat(on_error="ignore")
+    with pytest.raises(ValueError, match="empty column spec"):
+        IngestFormat.from_spec(" , ")
+
+
+def test_from_spec_parses_cli_string():
+    fmt = IngestFormat.from_spec("pc, addr ,hit", on_error="skip")
+    assert fmt.columns == ("pc", "addr", "hit")
+    assert fmt.on_error == "skip"
+
+
+def test_hit_field_accepts_words():
+    fmt = IngestFormat(columns=("pc", "addr", "hit"))
+    rec = parse_record_line("0x400,0x1000,HIT", fmt, 1)
+    assert rec.hit == 1
+    rec = parse_record_line("0x400,0x1000,miss", fmt, 1)
+    assert rec.hit == 0
+    with pytest.raises(TraceParseError, match="hit"):
+        parse_record_line("0x400,0x1000,2", fmt, 1)
+
+
+def test_address_masked_to_48_bits():
+    stats = IngestStats()
+    access = record_to_access(
+        ExternalRecord(pc=0x400100, addr=(1 << 60) | 0x1234), stats
+    )
+    assert access.address == 0x1234
+    assert stats.masked == 1
+
+
+# ----------------------------------------------------------------------
+# hypothesis: round-trip and column-permutation properties
+# ----------------------------------------------------------------------
+valid_records = st.lists(
+    st.builds(
+        ExternalRecord,
+        pc=st.integers(min_value=0, max_value=ADDRESS_MASK),
+        addr=st.integers(min_value=0, max_value=ADDRESS_MASK),
+        instr_id=st.integers(min_value=0, max_value=2**40),
+        cycle=st.integers(min_value=0, max_value=2**40),
+        hit=st.integers(min_value=0, max_value=1),
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+@given(records=valid_records)
+def test_roundtrip_is_identity(records):
+    lines = [format_record(r) for r in records]
+    assert list(iter_records(lines)) == records
+
+
+@given(records=valid_records, columns=st.permutations(list(DEFAULT_COLUMNS)))
+def test_roundtrip_under_any_column_permutation(records, columns):
+    fmt = IngestFormat(columns=tuple(columns))
+    lines = [format_record(r, fmt) for r in records]
+    assert list(iter_records(lines, fmt)) == records
+
+
+@given(
+    records=valid_records,
+    columns=st.permutations(["pc", "addr", "hit"]),
+)
+def test_partial_column_subsets_preserve_declared_fields(records, columns):
+    """Undeclared fields come back as their defaults; declared ones survive."""
+    fmt = IngestFormat(columns=tuple(columns))
+    lines = [format_record(r, fmt) for r in records]
+    parsed = list(iter_records(lines, fmt))
+    assert [(p.pc, p.addr, p.hit) for p in parsed] == [
+        (r.pc, r.addr, r.hit) for r in records
+    ]
+    assert all(p.instr_id == 0 and p.cycle == 0 for p in parsed)
+
+
+@given(
+    record=valid_records.map(lambda rs: rs[0]),
+    corruption=st.sampled_from(["truncate", "extra", "text", "negative"]),
+)
+def test_corrupted_lines_raise_strict_and_count_skip(record, corruption):
+    line = format_record(record)
+    if corruption == "truncate":
+        bad = ",".join(line.split(",")[:-1])
+    elif corruption == "extra":
+        bad = line + ",123"
+    elif corruption == "text":
+        bad = line.rsplit(",", 2)[0] + ",bogus,0"
+    else:
+        bad = line.replace("0x", "-0x", 1)
+    lines = [line, bad, line]
+    with pytest.raises(TraceParseError, match="line 2"):
+        list(iter_records(lines, IngestFormat(on_error="strict")))
+    stats = IngestStats()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        parsed = list(iter_records(lines, IngestFormat(on_error="skip"), stats))
+    assert parsed == [record, record]
+    assert stats.skipped == 1
+
+
+@given(records=valid_records)
+def test_file_roundtrip_plain_and_gzip(tmp_path_factory, records):
+    tmp = tmp_path_factory.mktemp("ingest_rt")
+    for name in ("trace.csv", "trace.csv.gz"):
+        path = tmp / name
+        assert write_records(records, path) == len(records)
+        back, stats = read_records(path)
+        assert back == records
+        assert stats.records == len(records)
+
+
+def test_trace_to_records_lifts_native_traces():
+    trace = generate("pointer_chase", 64, seed=3)
+    records = trace_to_records(trace, start_cycle=10, cycle_step=2)
+    assert [r.addr for r in records] == [a.address for a in trace]
+    assert [r.cycle for r in records] == list(range(10, 10 + 2 * 64, 2))
+    assert [record_to_access(r) for r in records] == trace
+
+
+# ----------------------------------------------------------------------
+# CLI: python -m voyager ingest
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("fixture", [SAMPLE, SAMPLE_GZ])
+def test_ingest_cli_converts_fixture_to_simulatable_trace(
+    fixtures_dir, tmp_path, capsys, fixture
+):
+    out = tmp_path / "native.txt"
+    rc = main(
+        ["ingest", "--input", str(fixtures_dir / fixture), "--out", str(out)]
+    )
+    assert rc == 0
+    printed = capsys.readouterr().out
+    assert "600 accesses" in printed and "records=600" in printed
+    assert parse_trace(out) == generate("multi_phase", 600, seed=42)
+
+    rc = main(
+        ["simulate", "--trace", str(out), "--prefetcher", "next_line"]
+    )
+    assert rc == 0
+    assert "prefetcher=next_line" in capsys.readouterr().out
+
+
+def test_ingest_cli_custom_columns_and_skip(fixtures_dir, tmp_path, capsys):
+    src = tmp_path / "perm.csv"
+    src.write_text("0x400,1,0x1000\n0x404,0,0x2040\nbroken\n")
+    out = tmp_path / "native.txt"
+    with pytest.warns(RuntimeWarning, match="skipping malformed"):
+        rc = main(
+            [
+                "ingest",
+                "--input",
+                str(src),
+                "--out",
+                str(out),
+                "--columns",
+                "pc,hit,addr",
+                "--on-error",
+                "skip",
+            ]
+        )
+    assert rc == 0
+    assert "skipped=1" in capsys.readouterr().out
+    assert [(a.pc, a.address) for a in parse_trace(out)] == [
+        (0x400, 0x1000),
+        (0x404, 0x2040),
+    ]
+
+
+def test_ingest_cli_strict_malformed_is_clean_error(
+    fixtures_dir, tmp_path, capsys
+):
+    rc = main(
+        [
+            "ingest",
+            "--input",
+            str(fixtures_dir / MALFORMED),
+            "--out",
+            str(tmp_path / "x.txt"),
+        ]
+    )
+    assert rc == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "line 3" in err
+
+
+def test_ingest_cli_missing_input_is_clean_error(tmp_path, capsys):
+    rc = main(
+        [
+            "ingest",
+            "--input",
+            str(tmp_path / "absent.csv"),
+            "--out",
+            str(tmp_path / "x.txt"),
+        ]
+    )
+    assert rc == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_ingest_cli_bad_columns_is_clean_error(fixtures_dir, tmp_path, capsys):
+    rc = main(
+        [
+            "ingest",
+            "--input",
+            str(fixtures_dir / SAMPLE),
+            "--out",
+            str(tmp_path / "x.txt"),
+            "--columns",
+            "cycle,instr_id",
+        ]
+    )
+    assert rc == 1
+    assert "must include" in capsys.readouterr().err
+
+
+def test_ingest_cli_empty_input_is_clean_error(tmp_path, capsys):
+    src = tmp_path / "empty.csv"
+    src.write_text("# only a comment\n")
+    rc = main(
+        ["ingest", "--input", str(src), "--out", str(tmp_path / "x.txt")]
+    )
+    assert rc == 1
+    assert "no records parsed" in capsys.readouterr().err

@@ -48,3 +48,134 @@ def test_generate_dispatch_and_unknown_workload():
     assert len(synthetic.generate("stride", 10)) == 10
     with pytest.raises(ValueError, match="unknown workload"):
         synthetic.generate("zigzag", 10)
+
+
+# ----------------------------------------------------------------------
+# workload zoo: multi_phase
+# ----------------------------------------------------------------------
+def test_multi_phase_seed_moves_boundaries():
+    a = synthetic.multi_phase_trace(400, seed=1)
+    b = synthetic.multi_phase_trace(400, seed=2)
+    assert len(a) == len(b) == 400
+    assert a != b
+
+
+def test_multi_phase_uses_distinct_pc_blocks_per_phase():
+    trace = synthetic.multi_phase_trace(400, seed=0, phases=4)
+    phase_blocks = {a.pc >> 16 for a in trace}
+    assert len(phase_blocks) == 4  # one 0x10000 PC block per phase
+
+
+def test_multi_phase_degenerates_gracefully():
+    assert len(synthetic.multi_phase_trace(10, seed=0, phases=4)) == 10
+    with pytest.raises(ValueError):
+        synthetic.multi_phase_trace(0)
+    with pytest.raises(ValueError):
+        synthetic.multi_phase_trace(100, phases=0)
+
+
+# ----------------------------------------------------------------------
+# workload zoo: interleaved_mix
+# ----------------------------------------------------------------------
+def test_interleaved_mix_round_robin_rotates_programs():
+    trace = synthetic.interleaved_mix_trace(90, seed=0, programs=3)
+    # Program identity is the 0x20000-aligned PC block.
+    programs = [(a.pc - 0x800000) // 0x20000 for a in trace]
+    assert programs[:6] == [0, 1, 2, 0, 1, 2]
+
+
+def test_interleaved_mix_programs_have_disjoint_spaces():
+    trace = synthetic.interleaved_mix_trace(300, seed=0, programs=3)
+    by_program = {}
+    for a in trace:
+        by_program.setdefault((a.pc - 0x800000) // 0x20000, set()).add(a.page)
+    pages = list(by_program.values())
+    assert len(pages) == 3
+    for i in range(3):
+        for j in range(i + 1, 3):
+            assert not pages[i] & pages[j]
+
+
+def test_interleaved_mix_random_policy_is_seeded_jitter():
+    rr = synthetic.interleaved_mix_trace(120, seed=3, programs=3)
+    rnd = synthetic.interleaved_mix_trace(120, seed=3, programs=3, policy="random")
+    assert rnd == synthetic.interleaved_mix_trace(
+        120, seed=3, programs=3, policy="random"
+    )
+    assert rnd != rr  # same streams, different arrival order
+    assert sorted((a.pc, a.address) for a in rnd) == sorted(
+        (a.pc, a.address) for a in rr
+    )
+
+
+def test_interleaved_mix_rejects_bad_policy():
+    with pytest.raises(ValueError, match="policy"):
+        synthetic.interleaved_mix_trace(10, policy="lifo")
+
+
+# ----------------------------------------------------------------------
+# workload zoo: pointer_chase
+# ----------------------------------------------------------------------
+def test_pointer_chase_visits_every_node_once_per_lap():
+    nodes = 64
+    trace = synthetic.pointer_chase_trace(nodes * 2, seed=5, nodes=nodes)
+    blocks = [a.block for a in trace]
+    assert len(set(blocks[:nodes])) == nodes  # one full Hamiltonian lap
+    assert blocks[:nodes] == blocks[nodes:]  # then it repeats exactly
+
+
+def test_pointer_chase_has_no_spatial_locality():
+    trace = synthetic.pointer_chase_trace(200, seed=5)
+    deltas = [
+        b.block - a.block for a, b in zip(trace, trace[1:])
+    ]
+    assert sum(1 for d in deltas if abs(d) <= 1) < len(deltas) * 0.1
+
+
+def test_pointer_chase_single_pc():
+    trace = synthetic.pointer_chase_trace(100, seed=0)
+    assert len({a.pc for a in trace}) == 1
+
+
+# ----------------------------------------------------------------------
+# workload zoo: zipf_db
+# ----------------------------------------------------------------------
+def test_zipf_db_scans_are_sequential_under_scan_pc():
+    trace = synthetic.zipf_db_trace(600, seed=0)
+    pcs = {a.pc for a in trace}
+    assert len(pcs) == 2  # lookup PC + scan PC
+    scan_pc = max(pcs)
+    runs = [
+        b.block - a.block
+        for a, b in zip(trace, trace[1:])
+        if a.pc == scan_pc and b.pc == scan_pc
+    ]
+    assert runs and sum(1 for d in runs if d == 1) > len(runs) * 0.8
+
+
+def test_zipf_db_lookups_are_skewed():
+    trace = synthetic.zipf_db_trace(800, seed=0)
+    lookup_pc = min(a.pc for a in trace)
+    from collections import Counter
+
+    counts = Counter(a.block for a in trace if a.pc == lookup_pc)
+    top = sum(c for _, c in counts.most_common(10))
+    assert top > sum(counts.values()) * 0.3  # hot head, zipf-style
+
+
+def test_zipf_db_blocks_stay_in_table_range():
+    blocks = 256
+    trace = synthetic.zipf_db_trace(500, seed=1, blocks=blocks, start_page=100)
+    base = 100 * synthetic.NUM_OFFSETS
+    assert all(base <= a.block < base + blocks for a in trace)
+
+
+def test_zoo_argument_validation():
+    with pytest.raises(ValueError):
+        synthetic.pointer_chase_trace(10, nodes=1)
+    with pytest.raises(ValueError):
+        synthetic.zipf_db_trace(10, blocks=1)
+    with pytest.raises(ValueError):
+        synthetic.zipf_db_trace(10, scan_fraction=1.5)
+    with pytest.raises(ValueError):
+        synthetic.interleaved_mix_trace(0)
