@@ -34,6 +34,17 @@ kept at full precision in the in-memory report and rounded only when
 ``--profile-sim`` each cell additionally records the simulator's
 per-phase timings (encode / candidates / cache loop).
 
+Neural (and table) cells train in the profile's ``train_mode``:
+``"sequence"`` (the default since schema v5) trains with truncated
+BPTT over ``seq_len``-access segments — every timestep supervised,
+cosine LR schedule, stateful inference — while ``"window"`` replays
+the legacy stride-1 sliding-window recipe (the ``smoke-window`` /
+``full-window`` profiles reproduce the pre-v5 cells exactly).  Each
+trained cell records its ``train_mode`` and a ``train_phases``
+wall-time breakdown (encode / labels / forward / backward /
+optimizer), and ``--max-train-s`` gates the neural ``train_s`` per
+workload the same way ``--max-neural-sim-s`` gates simulation.
+
 Everything is seeded, so two runs with the same profile produce
 identical metric values (wall-clock fields aside).
 """
@@ -58,7 +69,7 @@ from voyager.ioutil import atomic_write_text
 from voyager.labeling import LabelConfig
 from voyager.model import HierarchicalModel, ModelConfig
 from voyager.sim import NeuralPrefetcher, SimConfig, make_prefetcher, simulate
-from voyager.train import build_dataset, train
+from voyager.train import build_dataset, build_sequence_dataset, train
 
 #: Bumped whenever the report layout changes incompatibly.
 #: v2: per-cell ``elapsed_s`` replaced by ``cpu_s``; top-level gains
@@ -70,7 +81,14 @@ from voyager.train import build_dataset, train
 #: ``table_entries`` and ``table_hit_rate``), and an optional top-level
 #: ``distill`` section carries the table-size x context-depth
 #: latency/quality frontier written by ``--distill-frontier``.
-BENCH_SCHEMA_VERSION = 4
+#: v5: profiles carry a ``train_mode`` (default ``sequence``:
+#: truncated-BPTT training + stateful inference; ``window`` keeps the
+#: legacy recipe); the config section gains
+#: ``train_mode``/``seq_len``/``tbptt``/``lr_schedule``/``batch_size``
+#: /``lr``; neural and table cells record ``train_mode`` and a
+#: ``train_phases`` breakdown; new ``--max-train-s`` training-time
+#: gate.
+BENCH_SCHEMA_VERSION = 5
 
 #: Canonical report filename at the repo root.
 BENCH_FILENAME = "BENCH_voyager.json"
@@ -95,6 +113,14 @@ class BenchProfile:
     history: int = 8
     batch_size: int = 32
     lr: float = 1e-2
+    #: How the neural cells train: ``"sequence"`` (truncated BPTT over
+    #: ``seq_len``-access segments, every timestep supervised, stateful
+    #: inference) or ``"window"`` (the legacy stride-1 sliding-window
+    #: recipe with zero-state window replay at inference).
+    train_mode: str = "sequence"
+    seq_len: int = 32
+    tbptt: int = 8
+    lr_schedule: str = "cosine"
     workloads: Sequence[str] = synthetic.WORKLOADS
     sim: SimConfig = field(
         default_factory=lambda: SimConfig(degree=2, distance=8, latency=8)
@@ -115,20 +141,73 @@ class BenchProfile:
         )
 
 
+#: The sequence profiles' training hyperparameters come from the
+#: measured speed/quality frontier (README "Training performance"):
+#: batch 16 segments of 32 timesteps, TBPTT 8, peak lr 0.04 annealed
+#: by the half-cosine schedule.  The ``*-window`` profiles keep the
+#: pre-v5 recipe (batch 32 windows, constant lr 1e-2) so the legacy
+#: cells stay reproducible for cross-PR comparison.
 SMOKE_PROFILE = BenchProfile(
-    name="smoke", trace_length=1200, train_steps=60, embed_dim=8, hidden_dim=16
+    name="smoke",
+    trace_length=1200,
+    train_steps=60,
+    embed_dim=8,
+    hidden_dim=16,
+    batch_size=16,
+    lr=0.04,
 )
 FULL_PROFILE = BenchProfile(
-    name="full", trace_length=6000, train_steps=400, embed_dim=16, hidden_dim=32
+    name="full",
+    trace_length=6000,
+    train_steps=400,
+    embed_dim=16,
+    hidden_dim=32,
+    batch_size=16,
+    lr=0.04,
+)
+SMOKE_WINDOW_PROFILE = BenchProfile(
+    name="smoke-window",
+    trace_length=1200,
+    train_steps=60,
+    embed_dim=8,
+    hidden_dim=16,
+    train_mode="window",
+    lr_schedule="constant",
+)
+FULL_WINDOW_PROFILE = BenchProfile(
+    name="full-window",
+    trace_length=6000,
+    train_steps=400,
+    embed_dim=16,
+    hidden_dim=32,
+    train_mode="window",
+    lr_schedule="constant",
 )
 
 
 def _train_neural(
     trace, profile: BenchProfile, seed: int
-) -> NeuralPrefetcher:
-    dataset = build_dataset(
-        trace, history=profile.history, label_config=LabelConfig()
-    )
+) -> Tuple[NeuralPrefetcher, Dict[str, Any]]:
+    """Train the profile's neural prefetcher over ``trace``.
+
+    Dispatches on ``profile.train_mode`` and returns the prefetcher
+    wired for the matching inference mode (stateful continuation for
+    sequence-trained models, zero-state window replay for
+    window-trained ones) plus the cell-report fields: ``train_mode``
+    and the ``train_phases`` wall-time breakdown.
+    """
+    sequence = profile.train_mode == "sequence"
+    if sequence:
+        # Tiny traces (tests, custom profiles) may be shorter than the
+        # profile's segment length; clamp so one segment still fits.
+        seq_len = min(profile.seq_len, max(1, len(trace) - 1))
+        dataset = build_sequence_dataset(
+            trace, seq_len=seq_len, label_config=LabelConfig()
+        )
+    else:
+        dataset = build_dataset(
+            trace, history=profile.history, label_config=LabelConfig()
+        )
     config = ModelConfig(
         pc_vocab_size=dataset.pc_vocab.size,
         page_vocab_size=dataset.page_vocab.size,
@@ -138,15 +217,33 @@ def _train_neural(
         seed=seed,
     )
     model = HierarchicalModel(config)
-    train(
+    result = train(
         model,
         dataset,
         steps=profile.train_steps,
         batch_size=profile.batch_size,
         lr=profile.lr,
         seed=seed,
+        tbptt=profile.tbptt if sequence else None,
+        lr_schedule=profile.lr_schedule,
+        profile=True,
     )
-    return NeuralPrefetcher(model, dataset.pc_vocab, dataset.page_vocab)
+    if sequence:
+        prefetcher = NeuralPrefetcher(
+            model,
+            dataset.pc_vocab,
+            dataset.page_vocab,
+            inference="stateful",
+            seq_len=seq_len,
+        )
+    else:
+        prefetcher = NeuralPrefetcher(
+            model, dataset.pc_vocab, dataset.page_vocab
+        )
+    return prefetcher, {
+        "train_mode": profile.train_mode,
+        "train_phases": result.phases,
+    }
 
 
 def derive_cell_seed(seed: int, workload: str) -> int:
@@ -179,13 +276,16 @@ def bench_cell(
     trace = synthetic.generate(workload, profile.trace_length, seed=cell_seed)
     start = time.perf_counter()
     distill_s = None
+    train_info: Optional[Dict[str, Any]] = None
     if kind == "neural":
-        prefetcher = _train_neural(trace, profile, cell_seed)
+        prefetcher, train_info = _train_neural(trace, profile, cell_seed)
     elif kind == "table":
         # Same derived seed as the neural cell, so the table distills
         # exactly the model the neural cell simulates — the coverage
         # delta between the two cells is the distillation cost alone.
-        neural = _train_neural(trace, profile, cell_seed)
+        # The table also distills in the matching inference mode, so
+        # it tabulates the same rollout arithmetic it is compared to.
+        neural, train_info = _train_neural(trace, profile, cell_seed)
         distill_start = time.perf_counter()
         table = build_table(
             neural.model,
@@ -193,6 +293,8 @@ def bench_cell(
             neural.page_vocab,
             trace,
             profile.distill_config(),
+            inference=neural.inference,
+            seq_len=neural.seq_len,
         )
         distill_s = time.perf_counter() - distill_start
         prefetcher = make_prefetcher("table", table=table)
@@ -210,6 +312,9 @@ def bench_cell(
     entry["train_s"] = trained - start
     entry["sim_s"] = done - trained
     entry["cpu_s"] = entry["train_s"] + entry["sim_s"]
+    if train_info is not None:
+        entry["train_mode"] = train_info["train_mode"]
+        entry["train_phases"] = train_info["train_phases"]
     if kind == "table":
         entry["distill_s"] = distill_s
         entry["table_entries"] = prefetcher.table.total_entries
@@ -302,6 +407,12 @@ def run_bench(
             "embed_dim": profile.embed_dim,
             "hidden_dim": profile.hidden_dim,
             "history": profile.history,
+            "train_mode": profile.train_mode,
+            "seq_len": profile.seq_len,
+            "tbptt": profile.tbptt,
+            "lr_schedule": profile.lr_schedule,
+            "batch_size": profile.batch_size,
+            "lr": profile.lr,
             "degree": profile.sim.degree,
             "distance": profile.sim.distance,
             "latency": profile.sim.latency,
@@ -317,7 +428,16 @@ def run_bench(
 
 
 #: Per-cell keys that describe *when/how fast*, not *what happened*.
-CELL_TIMING_FIELDS = ("train_s", "sim_s", "cpu_s", "phases", "distill_s")
+#: ``train_mode`` is deliberately absent: it is deterministic config,
+#: so the parallel-equivalence contract covers it.
+CELL_TIMING_FIELDS = (
+    "train_s",
+    "sim_s",
+    "cpu_s",
+    "phases",
+    "distill_s",
+    "train_phases",
+)
 
 #: Top-level keys that vary between runs of identical sweeps.  The
 #: ``serving`` and ``distill`` sections are throughput/latency
@@ -368,10 +488,12 @@ def _rounded_for_json(report: Dict[str, Any]) -> Dict[str, Any]:
             for key in ("train_s", "sim_s", "cpu_s"):
                 if isinstance(entry.get(key), float):
                     entry[key] = round(entry[key], 3)
-            if isinstance(entry.get("phases"), dict):
-                entry["phases"] = {
-                    k: round(v, 6) for k, v in entry["phases"].items()
-                }
+            for phases_key in ("phases", "train_phases"):
+                if isinstance(entry.get(phases_key), dict):
+                    entry[phases_key] = {
+                        k: round(v, 6)
+                        for k, v in entry[phases_key].items()
+                    }
             if isinstance(entry.get("distill_s"), float):
                 entry["distill_s"] = round(entry["distill_s"], 3)
             workloads[workload][kind] = entry
@@ -532,6 +654,15 @@ def validate_report(report: Dict[str, Any]) -> List[str]:
                     problems.append(
                         f"{workload}/{kind}: missing timing {field_name}"
                     )
+            if kind in ("neural", "table"):
+                if entry.get("train_mode") not in ("window", "sequence"):
+                    problems.append(
+                        f"{workload}/{kind}: missing/invalid train_mode"
+                    )
+                if not isinstance(entry.get("train_phases"), dict):
+                    problems.append(
+                        f"{workload}/{kind}: missing train_phases"
+                    )
     for field_name in ("elapsed_s", "cpu_s"):
         if not isinstance(report.get(field_name), (int, float)):
             problems.append(f"missing top-level {field_name}")
@@ -599,7 +730,7 @@ def run_distill_frontier(
             workload, profile.trace_length, seed=cell_seed
         )
         train_start = time.perf_counter()
-        neural = _train_neural(trace, profile, cell_seed)
+        neural, _ = _train_neural(trace, profile, cell_seed)
         train_s = time.perf_counter() - train_start
         sim_start = time.perf_counter()
         neural_sim = simulate(trace, neural, profile.sim)
@@ -619,6 +750,8 @@ def run_distill_frontier(
                     neural.page_vocab,
                     trace,
                     config,
+                    inference=neural.inference,
+                    seq_len=neural.seq_len,
                 )
                 build_s = time.perf_counter() - build_start
                 prefetcher = make_prefetcher("table", table=table)
@@ -740,6 +873,30 @@ def check_distill_budget(
     return problems
 
 
+def check_train_budget(
+    report: Dict[str, Any], max_train_s: float
+) -> List[str]:
+    """Timing gate: neural ``train_s`` must stay under the budget.
+
+    The training-time counterpart of :func:`check_sim_budget` — one
+    problem string per offending workload (empty = ok).  Sized to
+    catch a return of the sliding-window H x supervision redundancy
+    (or an accidentally quadratic training loop), not to benchmark the
+    CI machine.
+    """
+    problems: List[str] = []
+    for workload, entries in report.get("workloads", {}).items():
+        train_s = entries.get("neural", {}).get("train_s")
+        if train_s is None:
+            problems.append(f"{workload}: neural entry has no train_s")
+        elif train_s > max_train_s:
+            problems.append(
+                f"{workload}: neural train_s={train_s} exceeds budget "
+                f"{max_train_s}s"
+            )
+    return problems
+
+
 def check_sim_budget(
     report: Dict[str, Any], max_neural_sim_s: float
 ) -> List[str]:
@@ -774,13 +931,22 @@ def parse_int_list(text: str, flag: str) -> Tuple[int, ...]:
     return values
 
 
+#: Selectable profiles: the default pair trains in sequence mode, the
+#: ``*-window`` pair reproduces the pre-v5 sliding-window cells.
+PROFILES = {
+    "smoke": SMOKE_PROFILE,
+    "full": FULL_PROFILE,
+    "smoke-window": SMOKE_WINDOW_PROFILE,
+    "full-window": FULL_WINDOW_PROFILE,
+}
+
+
 def _profile_by_name(name: str) -> BenchProfile:
-    profiles = {"smoke": SMOKE_PROFILE, "full": FULL_PROFILE}
-    if name not in profiles:
+    if name not in PROFILES:
         raise ValueError(
-            f"unknown profile {name!r}; expected one of {sorted(profiles)}"
+            f"unknown profile {name!r}; expected one of {sorted(PROFILES)}"
         )
-    return profiles[name]
+    return PROFILES[name]
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -791,9 +957,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--profile",
-        choices=("smoke", "full"),
+        choices=tuple(sorted(PROFILES)),
         default="smoke",
-        help="workload size / training budget (default: smoke)",
+        help="workload size / training budget; the *-window variants "
+        "reproduce the legacy sliding-window cells (default: smoke)",
     )
     parser.add_argument("--out", default=BENCH_FILENAME)
     parser.add_argument("--seed", type=int, default=0)
@@ -818,6 +985,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         type=float,
         default=None,
         help="fail (exit 1) if any workload's neural sim_s exceeds this",
+    )
+    parser.add_argument(
+        "--max-train-s",
+        type=float,
+        default=None,
+        help="fail (exit 1) if any workload's neural train_s exceeds this",
     )
     parser.add_argument(
         "--distill-frontier",
@@ -875,6 +1048,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     problems = validate_report(report)
     if args.max_neural_sim_s is not None:
         problems += check_sim_budget(report, args.max_neural_sim_s)
+    if args.max_train_s is not None:
+        problems += check_train_budget(report, args.max_train_s)
     if args.min_table_speedup is not None or args.max_table_coverage_drop is not None:
         problems += check_distill_budget(
             report,

@@ -53,11 +53,11 @@ from voyager.bench import (
     BENCH_FILENAME,
     FRONTIER_DEPTHS,
     FRONTIER_TABLE_SIZES,
-    FULL_PROFILE,
-    SMOKE_PROFILE,
+    PROFILES,
     parse_int_list,
     check_distill_budget,
     check_sim_budget,
+    check_train_budget,
     preserve_sections,
     profile_with_workloads,
     run_bench,
@@ -84,7 +84,7 @@ from voyager.model import (
 )
 from voyager.sim import CacheConfig, SimConfig, make_prefetcher, simulate
 from voyager.traces import TraceParseError, parse_trace, write_trace
-from voyager.train import build_dataset, train
+from voyager.train import build_dataset, build_sequence_dataset, train
 
 
 def _add_model_args(parser: argparse.ArgumentParser) -> None:
@@ -99,6 +99,34 @@ def _add_model_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--spatial-radius", type=int, default=1)
     parser.add_argument("--pc-cap", type=int, default=1024)
     parser.add_argument("--page-cap", type=int, default=1024)
+    parser.add_argument(
+        "--train-mode",
+        choices=("window", "sequence"),
+        default="window",
+        help="window: stride-1 sliding-window training (legacy); "
+        "sequence: truncated-BPTT segments with every timestep "
+        "supervised (default: window)",
+    )
+    parser.add_argument(
+        "--seq-len",
+        type=int,
+        default=32,
+        help="sequence-mode segment length (default: 32)",
+    )
+    parser.add_argument(
+        "--tbptt",
+        type=int,
+        default=None,
+        help="sequence-mode truncated-BPTT chunk; default: the whole "
+        "segment (one update per segment batch)",
+    )
+    parser.add_argument(
+        "--lr-schedule",
+        choices=("constant", "cosine"),
+        default="constant",
+        help="constant lr, or half-cosine annealing from --lr to 0 "
+        "over --steps updates (default: constant)",
+    )
 
 
 def _add_sim_args(parser: argparse.ArgumentParser) -> None:
@@ -229,6 +257,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="neural inference precision: float64 is bit-identical to "
         "training, float32 trades exactness for speed",
     )
+    sim.add_argument(
+        "--inference",
+        choices=("window", "stateful"),
+        default="window",
+        help="neural inference mode (with --checkpoint); must match the "
+        "checkpoint's training mode: window for --train-mode window, "
+        "stateful for --train-mode sequence (default: window)",
+    )
+    sim.add_argument(
+        "--inference-seq-len",
+        type=int,
+        default=32,
+        metavar="T",
+        help="stateful-mode state-reset period; use the --seq-len the "
+        "checkpoint was trained with (default: 32)",
+    )
     _add_sim_args(sim)
 
     distill = sub.add_parser(
@@ -282,9 +326,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--profile",
-        choices=("smoke", "full"),
+        choices=tuple(sorted(PROFILES)),
         default="full",
-        help="workload size / training budget (default: full)",
+        help="workload size / training budget; the *-window variants "
+        "reproduce the legacy sliding-window cells (default: full)",
     )
     bench.add_argument("--out", default=BENCH_FILENAME)
     bench.add_argument("--seed", type=int, default=0)
@@ -309,6 +354,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="fail if any workload's neural sim_s exceeds this budget",
+    )
+    bench.add_argument(
+        "--max-train-s",
+        type=float,
+        default=None,
+        help="fail if any workload's neural train_s exceeds this budget",
     )
     bench.add_argument(
         "--distill-frontier",
@@ -426,15 +477,26 @@ def run_ingest(args: argparse.Namespace) -> int:
 
 def run_training(args: argparse.Namespace) -> int:
     trace = parse_trace(args.trace)
-    dataset = build_dataset(
-        trace,
-        history=args.history,
-        label_config=LabelConfig(
-            window=args.window, spatial_radius=args.spatial_radius
-        ),
-        pc_cap=args.pc_cap,
-        page_cap=args.page_cap,
+    label_config = LabelConfig(
+        window=args.window, spatial_radius=args.spatial_radius
     )
+    sequence = args.train_mode == "sequence"
+    if sequence:
+        dataset = build_sequence_dataset(
+            trace,
+            seq_len=args.seq_len,
+            label_config=label_config,
+            pc_cap=args.pc_cap,
+            page_cap=args.page_cap,
+        )
+    else:
+        dataset = build_dataset(
+            trace,
+            history=args.history,
+            label_config=label_config,
+            pc_cap=args.pc_cap,
+            page_cap=args.page_cap,
+        )
     config = ModelConfig(
         pc_vocab_size=dataset.pc_vocab.size,
         page_vocab_size=dataset.page_vocab.size,
@@ -444,8 +506,13 @@ def run_training(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     model = HierarchicalModel(config)
+    examples = (
+        f"segments={len(dataset)}x{dataset.seq_len}"
+        if sequence
+        else f"examples={len(dataset)}"
+    )
     print(
-        f"trace={args.trace} accesses={len(trace)} examples={len(dataset)} "
+        f"trace={args.trace} accesses={len(trace)} {examples} "
         f"params={model.num_parameters()}"
     )
     result = train(
@@ -455,8 +522,22 @@ def run_training(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         lr=args.lr,
         seed=args.seed,
+        tbptt=args.tbptt,
+        lr_schedule=args.lr_schedule,
     )
-    metrics = evaluate(model, dataset)
+    if sequence:
+        # Teacher-forced window metrics need a window dataset; reuse
+        # the training vocabs so the ids mean the same thing.
+        eval_dataset = build_dataset(
+            trace,
+            history=args.history,
+            label_config=label_config,
+            pc_vocab=dataset.pc_vocab,
+            page_vocab=dataset.page_vocab,
+        )
+    else:
+        eval_dataset = dataset
+    metrics = evaluate(model, eval_dataset)
     print(
         f"loss={result.final_loss:.6f} "
         f"page_acc={metrics.page_accuracy:.4f} "
@@ -491,6 +572,8 @@ def run_simulate(args: argparse.Namespace) -> int:
             "--prefetcher table needs --table FILE (build one with "
             "'python -m voyager distill')"
         )
+    if args.inference != "window" and not args.checkpoint:
+        raise ValueError("--inference stateful needs --checkpoint")
     if args.workload:
         trace = synthetic.generate(args.workload, args.length, seed=args.seed)
     else:
@@ -512,6 +595,8 @@ def run_simulate(args: argparse.Namespace) -> int:
             trace,
             sim_config,
             dtype=np.float32 if args.dtype == "float32" else np.float64,
+            inference=args.inference,
+            seq_len=args.inference_seq_len,
         )
     elif args.prefetcher == "none":
         result = simulate(trace, None, sim_config)
@@ -543,7 +628,7 @@ def run_distill(args: argparse.Namespace) -> int:
 
 
 def run_bench_cmd(args: argparse.Namespace) -> int:
-    profile = SMOKE_PROFILE if args.smoke or args.profile == "smoke" else FULL_PROFILE
+    profile = PROFILES["smoke" if args.smoke else args.profile]
     profile = profile_with_workloads(profile, args.workloads)
     report = run_bench(
         profile, seed=args.seed, jobs=args.jobs, profile_sim=args.profile_sim
@@ -560,6 +645,8 @@ def run_bench_cmd(args: argparse.Namespace) -> int:
     problems = validate_report(report)
     if args.max_neural_sim_s is not None:
         problems += check_sim_budget(report, args.max_neural_sim_s)
+    if args.max_train_s is not None:
+        problems += check_train_budget(report, args.max_train_s)
     if args.min_table_speedup is not None or args.max_table_coverage_drop is not None:
         problems += check_distill_budget(
             report,

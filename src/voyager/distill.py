@@ -30,15 +30,19 @@ the collapsed windows.  Two properties are still exact, and the test
 suite pins them:
 
 - every stored candidate list is bit-identical to the engine's
-  window-replay rollout of at least one training window whose trailing
+  rollout from at least one build-trace position whose trailing
   triples match the context (the table never invents candidates);
-- at ``depth == history`` the context determines the whole window, so
-  a full-depth hit reproduces the engine's rollout exactly and its
-  first candidate is the engine's top-1 (a member of any top-k).
+- in window mode, at ``depth == history`` the context determines the
+  whole window, so a full-depth hit reproduces the engine's rollout
+  exactly and its first candidate is the engine's top-1 (a member of
+  any top-k).  (Stateful mode — used to distill sequence-trained
+  models, see :func:`build_table` — keeps the first property but not
+  the second: the carried segment state depends on context the key
+  does not capture.)
 
 The coverage cost of the approximation is quantified per workload by
 the ``distill`` frontier section :mod:`voyager.bench` writes into
-``BENCH_voyager.json`` (schema v4) and gated in CI next to the timing
+``BENCH_voyager.json`` (schema v5) and gated in CI next to the timing
 gates.
 """
 
@@ -314,27 +318,51 @@ def build_table(
     trace: Sequence[MemoryAccess],
     config: Optional[DistillConfig] = None,
     dtype=np.float64,
+    inference: str = "window",
+    seq_len: int = 64,
 ) -> DistilledTable:
     """Compile ``model`` into a :class:`DistilledTable` over ``trace``.
 
-    One batched :meth:`~voyager.infer.InferenceEngine.rollout_window`
-    pass computes the model's ``top_k``-step candidate blocks for every
-    full-window trace position (exactly the arithmetic
-    :meth:`voyager.sim.NeuralPrefetcher.prime` runs), then each
-    position's candidate list is recorded under its context key at
-    every configured depth.  Aggregation is *modal*: a context seen
-    with conflicting rollouts (coarse contexts collapse windows the
-    LSTM distinguishes) stores its most frequent candidate list,
-    first-seen winning ties — so every stored list is bit-identical to
-    a real engine rollout from the build trace, never a blend.  Tables
-    keep the ``table_size`` most frequently *seen* contexts (same
-    count-then-first-seen rank rule as :meth:`voyager.vocab.Vocab.fit`).
+    One batched inference pass computes the model's ``top_k``-step
+    candidate blocks for every trace position (exactly the arithmetic
+    :meth:`voyager.sim.NeuralPrefetcher.prime` runs for the matching
+    inference mode), then each position's candidate list is recorded
+    under its context key at every configured depth.  ``inference``
+    selects the pass: ``"window"`` (default) replays zero-state
+    ``history``-access windows via
+    :meth:`~voyager.infer.InferenceEngine.rollout_window` — the right
+    distillation for window-trained models; ``"stateful"`` carries
+    LSTM state across each ``seq_len``-access segment
+    (:meth:`~voyager.infer.InferenceEngine.segment_states`) and rolls
+    out from every position, matching sequence-trained models'
+    stateful serving mode (and covering positions before the first
+    full window, which window mode cannot).
+
+    Aggregation is *modal*: a context seen with conflicting rollouts
+    (coarse contexts collapse positions the LSTM distinguishes —
+    different windows in window mode, different carried states in
+    stateful mode) stores its most frequent candidate list, first-seen
+    winning ties — so every stored list is bit-identical to a real
+    engine rollout from the build trace, never a blend.  The
+    full-depth-hit exactness property (a ``depth == history`` hit
+    reproduces the engine's rollout) holds in window mode only, where
+    the context determines the whole input; a stateful rollout also
+    depends on the segment prefix, which the context key does not
+    capture.  Tables keep the ``table_size`` most frequently *seen*
+    contexts (same count-then-first-seen rank rule as
+    :meth:`voyager.vocab.Vocab.fit`).
     """
     config = config or DistillConfig()
+    if inference not in ("window", "stateful"):
+        raise ValueError(
+            f"inference must be 'window' or 'stateful', got {inference!r}"
+        )
+    if inference == "stateful" and seq_len < 1:
+        raise ValueError(f"seq_len must be >= 1, got {seq_len}")
     history = model.config.history
     table = DistilledTable(config, pc_vocab, page_vocab, history)
     n = len(trace)
-    if n < history:
+    if n == 0 or (inference == "window" and n < history):
         return table
 
     pc_all = np.array(pc_vocab.encode_all(a.pc for a in trace), dtype=np.int64)
@@ -342,16 +370,23 @@ def build_table(
         page_vocab.encode_all(a.page for a in trace), dtype=np.int64
     )
     off_all = np.array([a.offset for a in trace], dtype=np.int64)
-    windows = np.lib.stride_tricks.sliding_window_view
-    pc_w = windows(pc_all, history)  # (n - H + 1, H)
-    page_w = windows(page_all, history)
-    off_w = windows(off_all, history)
 
     engine = InferenceEngine(model, dtype=dtype)
-    feats = engine.features(pc_w, page_w, off_w)
-    pages, offsets, valid = engine.rollout_window(
-        feats, pc_w[:, -1], config.top_k
-    )
+    if inference == "stateful":
+        x = engine.feature_step(pc_all, page_all, off_all)
+        states = engine.segment_states(x, seq_len)
+        pages, offsets, valid = engine.rollout(states, pc_all, config.top_k)
+        first_pos = 0
+    else:
+        windows = np.lib.stride_tricks.sliding_window_view
+        pc_w = windows(pc_all, history)  # (n - H + 1, H)
+        page_w = windows(page_all, history)
+        off_w = windows(off_all, history)
+        feats = engine.features(pc_w, page_w, off_w)
+        pages, offsets, valid = engine.rollout_window(
+            feats, pc_w[:, -1], config.top_k
+        )
+        first_pos = history - 1
     page_table = page_id_table(page_vocab)
     blocks = (page_table[pages] << OFFSET_BITS) | offsets
     counts = np.where(
@@ -362,7 +397,7 @@ def build_table(
         ctx_counts: Counter = Counter()
         first_seen: Dict[Context, int] = {}
         cand_votes: Dict[Context, Counter] = {}
-        for row, pos in enumerate(range(history - 1, n)):
+        for row, pos in enumerate(range(first_pos, n)):
             if depth > pos + 1:
                 continue  # not enough accesses yet for this depth
             key = context_key(pc_all, page_all, off_all, pos, depth)

@@ -84,6 +84,8 @@ def simulate_model(
     trace: Sequence[MemoryAccess],
     sim_config: Optional[SimConfig] = None,
     dtype=np.float64,
+    inference: str = "window",
+    seq_len: int = 64,
 ) -> SimResult:
     """Cache-outcome evaluation of a trained model on a raw trace.
 
@@ -96,8 +98,19 @@ def simulate_model(
     primed (batched over the whole trace) by :func:`~voyager.sim.simulate`.
     ``dtype=np.float32`` opts into the faster approximate mode; the
     float64 default is bit-identical to the training-mode forward.
+    ``inference`` must match the model's training mode: ``"window"``
+    for window-trained models, ``"stateful"`` (with the training
+    ``seq_len``) for sequence-trained ones — see
+    :class:`~voyager.sim.NeuralPrefetcher`.
     """
-    prefetcher = NeuralPrefetcher(model, pc_vocab, page_vocab, dtype=dtype)
+    prefetcher = NeuralPrefetcher(
+        model,
+        pc_vocab,
+        page_vocab,
+        dtype=dtype,
+        inference=inference,
+        seq_len=seq_len,
+    )
     return simulate(trace, prefetcher, sim_config or SimConfig())
 
 

@@ -14,9 +14,15 @@ module is the inference-only counterpart:
   (cheapest: one LSTM step per lookahead step), while
   :meth:`~InferenceEngine.rollout_window` replays the trained
   fixed-length window per step over *precomputed features* — the mode
-  the simulator uses, because the LSTM is only ever trained on
-  ``history``-step windows from a zero state and drifts badly when a
-  state is continued past that horizon;
+  the simulator uses for window-trained models, because a model only
+  ever trained on ``history``-step windows from a zero state drifts
+  badly when a state is continued past that horizon.  Sequence-trained
+  models (``train(mode="sequence")``) are the opposite: they learn on
+  long carried-state segments, so for them
+  :meth:`~InferenceEngine.segment_states` reconstructs every trace
+  position's carried state in one batched scan (resetting every
+  ``seq_len`` accesses, mirroring the training segmentation) and
+  :meth:`~InferenceEngine.rollout` continues from it;
 - an optional float32 mode (``dtype=np.float32``) that halves memory
   traffic for throughput-oriented simulation;
 - an optional ``row_exact`` mode that pins every batch-height-sensitive
@@ -285,6 +291,46 @@ class InferenceEngine:
             self.features(pc_ids, page_ids, offset_ids)
         )
 
+    def segment_states(self, x: np.ndarray, seq_len: int) -> LSTMState:
+        """Carried state at *every* trace position, one batched scan.
+
+        ``x`` holds the ``(n, 3d)`` features of ``n`` consecutive
+        accesses.  The trace is tiled into segments of ``seq_len``
+        accesses starting at position 0 — exactly the segmentation
+        ``build_sequence_dataset`` trains on — and the LSTM runs each
+        segment from a zero state, all segments advancing in one
+        batched step per within-segment offset.  Row ``p`` of the
+        returned state is the state *after* consuming access ``p``
+        within its segment, i.e. the state a sequence-trained model
+        predicts access ``p + 1`` from.
+
+        Cost is ``n`` cell evaluations total (batched ``seq_len`` at a
+        time) versus ``n * history`` for window replay — the inference
+        analogue of the training-side redundancy kill.
+        """
+        if seq_len < 1:
+            raise ValueError(f"seq_len must be >= 1, got {seq_len}")
+        n = x.shape[0]
+        if n == 0:
+            return self.init_state(0)
+        h_dim = self.config.hidden_dim
+        starts = np.arange(0, n, seq_len)
+        h_all = np.empty((n, h_dim), dtype=self.dtype)
+        c_all = np.empty((n, h_dim), dtype=self.dtype)
+        state = self.init_state(starts.shape[0])
+        for t in range(min(seq_len, n)):
+            pos = starts + t
+            mask = pos < n
+            # The ragged tail segment keeps stepping on a clamped
+            # feature, but its rows are masked out of every write past
+            # the trace end, so the garbage never lands.
+            state = self.step_from_features(
+                state, x[np.minimum(pos, n - 1)]
+            )
+            h_all[pos[mask]] = state.h[mask]
+            c_all[pos[mask]] = state.c[mask]
+        return LSTMState(h=h_all, c=c_all)
+
     # ------------------------------------------------------------------
     # prediction
     # ------------------------------------------------------------------
@@ -331,11 +377,15 @@ class InferenceEngine:
         ``(page, offset)`` prediction and feed it back as the next
         pseudo-access (the PC slot repeats ``pc_ids``), advancing the
         state in place of the slid window.  This is the cheapest
-        possible rollout — one LSTM step per lookahead step — but it
-        carries the state *past* the ``history``-step horizon the model
-        was trained on, which measurably degrades multi-step prediction
-        quality; prefer :meth:`rollout_window` when fidelity to the
-        trained window semantics matters (the simulator does).
+        possible rollout — one LSTM step per lookahead step.  For a
+        *window-trained* model it carries the state past the
+        ``history``-step horizon the model was trained on, which
+        measurably degrades multi-step prediction quality; prefer
+        :meth:`rollout_window` there (the simulator does, in
+        ``inference="window"`` mode).  For a *sequence-trained* model
+        carried state is the training distribution, so this rollout —
+        continuing from :meth:`segment_states` rows — is both the
+        cheap and the faithful choice (``inference="stateful"``).
 
         Returns ``(pages, offsets, valid)`` of shape ``(B, steps)``;
         ``valid[b, j]`` is False from the first step where row ``b``

@@ -14,6 +14,19 @@ acceptable ``(page, offset)`` labels:
 
 Targets are encoded as uniform distributions over the label set so the
 model's softmax cross-entropy applies unchanged.
+
+Two equivalent construction paths exist:
+
+- the scalar reference (:func:`make_labels` per position, then
+  :func:`labels_to_distributions`), kept as the readable specification;
+- the vectorized path (:func:`label_arrays` for *all* positions at
+  once, then :func:`distributions_from_arrays`), which replaces the
+  per-position Python loop with NumPy shifts and ``np.add.at``
+  scatters.  It is pinned **bit-identical** to the scalar path by
+  equivalence tests: weights are computed with the same float ops and
+  scattered in the same per-row label order, so duplicate targets
+  (e.g. two distinct out-of-vocabulary pages mapping to the OOV id)
+  accumulate in the same order.
 """
 
 from __future__ import annotations
@@ -92,14 +105,23 @@ def labels_to_distributions(
     near-misses still earn credit.  ``page_ids_of`` maps raw page
     numbers to vocab ids (e.g. ``vocab.encode``); out-of-vocabulary
     pages fall into the OOV id so rows still sum to one.
+
+    The accumulation is a single ``np.add.at`` scatter per head instead
+    of a per-label ``+=`` loop.  ``np.add.at`` applies duplicate indices
+    sequentially in element order, and the flat index arrays preserve
+    per-row label order, so rows where several labels collapse onto one
+    target column (duplicate OOV pages, shared offsets) accumulate in
+    exactly the order the scalar loop used — the output is bit-identical.
     """
     if not 0.0 < primary_weight <= 1.0:
         raise ValueError(
             f"primary_weight must be in (0, 1], got {primary_weight}"
         )
     B = len(label_sets)
-    page_t = np.zeros((B, page_vocab_size))
-    off_t = np.zeros((B, num_offsets))
+    rows: List[int] = []
+    page_cols: List[int] = []
+    off_cols: List[int] = []
+    flat_w: List[float] = []
     for b, labels in enumerate(label_sets):
         if not labels:
             raise ValueError(f"empty label set at position {b}")
@@ -109,6 +131,160 @@ def labels_to_distributions(
             rest = (1.0 - primary_weight) / (len(labels) - 1)
             weights = [primary_weight] + [rest] * (len(labels) - 1)
         for (page, offset), w in zip(labels, weights):
-            page_t[b, page_ids_of(page)] += w
-            off_t[b, offset] += w
+            rows.append(b)
+            page_cols.append(page_ids_of(page))
+            off_cols.append(offset)
+            flat_w.append(w)
+    page_t = np.zeros((B, page_vocab_size))
+    off_t = np.zeros((B, num_offsets))
+    if rows:
+        r = np.asarray(rows, dtype=np.int64)
+        w_flat = np.asarray(flat_w)
+        np.add.at(page_t, (r, np.asarray(page_cols, dtype=np.int64)), w_flat)
+        np.add.at(off_t, (r, np.asarray(off_cols, dtype=np.int64)), w_flat)
+    return page_t, off_t
+
+
+@dataclass(frozen=True)
+class LabelArrays:
+    """Label sets for many positions as parallel ``(N, L)`` arrays.
+
+    ``L = 1 + 2 * spatial_radius + window`` columns per position, in the
+    exact order :func:`make_labels` emits labels: the primary next
+    access, the spatial neighbors (delta ``-r..-1, 1..r``), then the
+    co-occurrence look-ahead (``+2..+1+window``).  Invalid slots —
+    spatial offsets outside ``[0, NUM_OFFSETS)``, look-ahead past the
+    trace end, co-occurrence duplicates of an earlier label — are
+    masked out by ``valid``; reading a row's valid entries left to
+    right recovers ``make_labels`` output exactly.
+    """
+
+    src: np.ndarray  # (N, L) trace index supplying each label's page
+    offsets: np.ndarray  # (N, L) block offset of each label
+    valid: np.ndarray  # (N, L) bool
+
+    @property
+    def num_positions(self) -> int:
+        return self.src.shape[0]
+
+
+def label_arrays(
+    trace: Sequence[MemoryAccess],
+    positions: np.ndarray,
+    config: Optional[LabelConfig] = None,
+) -> LabelArrays:
+    """Vectorized :func:`make_labels` for every position at once.
+
+    Pages are referenced *by trace index* (``src``) rather than by raw
+    page number so callers can gather vocab ids from a single
+    pre-encoded per-position array; deduplication compares raw
+    ``(page, offset)`` pairs exactly like the scalar path (distinct
+    out-of-vocabulary pages stay distinct here and only collapse when
+    the caller encodes them).
+    """
+    if config is None:
+        config = LabelConfig()
+    n = len(trace)
+    positions = np.asarray(positions, dtype=np.int64)
+    N = positions.shape[0]
+    if N and (positions.min() < 0 or positions.max() + 1 >= n):
+        raise IndexError(
+            f"positions must lie in [0, {n - 2}] so every position has "
+            f"a successor"
+        )
+    pages = np.fromiter((a.page for a in trace), dtype=np.int64, count=n)
+    offs = np.fromiter((a.offset for a in trace), dtype=np.int64, count=n)
+
+    r, w = config.spatial_radius, config.window
+    L = 1 + 2 * r + w
+    src = np.zeros((N, L), dtype=np.int64)
+    off = np.zeros((N, L), dtype=np.int64)
+    valid = np.zeros((N, L), dtype=bool)
+
+    nxt = positions + 1
+    src[:, 0] = nxt
+    off[:, 0] = offs[nxt]
+    valid[:, 0] = True
+
+    col = 1
+    for delta in range(-r, r + 1):
+        if delta == 0:
+            continue
+        o = offs[nxt] + delta
+        src[:, col] = nxt
+        off[:, col] = o
+        valid[:, col] = (o >= 0) & (o < NUM_OFFSETS)
+        col += 1
+
+    # Raw (page, offset) keys for duplicate detection.  Spatial offsets
+    # can stray into [-r, NUM_OFFSETS + r), so shift by +r and stride by
+    # NUM_OFFSETS + 2r to keep keys collision-free and non-negative.
+    stride = NUM_OFFSETS + 2 * r
+
+    def _key(c: int) -> np.ndarray:
+        return pages[src[:, c]] * stride + (off[:, c] + r)
+
+    for k in range(2, 2 + w):
+        j = positions + k
+        in_trace = j < n
+        jc = np.minimum(j, n - 1)
+        src[:, col] = jc
+        off[:, col] = offs[jc]
+        key_c = _key(col)
+        dup = np.zeros(N, dtype=bool)
+        for e in range(col):
+            dup |= valid[:, e] & (_key(e) == key_c)
+        valid[:, col] = in_trace & ~dup
+        col += 1
+    return LabelArrays(src=src, offsets=off, valid=valid)
+
+
+def label_weights(
+    valid: np.ndarray, primary_weight: float = 0.5
+) -> np.ndarray:
+    """Per-label target mass for an ``(N, L)`` validity mask.
+
+    Column 0 (the primary label) gets ``primary_weight`` — or all the
+    mass when it is the only valid label — and the remaining valid
+    labels split the rest evenly, with the same float operations as the
+    scalar path in :func:`labels_to_distributions`.
+    """
+    if not 0.0 < primary_weight <= 1.0:
+        raise ValueError(
+            f"primary_weight must be in (0, 1], got {primary_weight}"
+        )
+    counts = valid.sum(axis=1)
+    multi = counts > 1
+    rest = np.zeros(valid.shape[0])
+    rest[multi] = (1.0 - primary_weight) / (counts[multi] - 1)
+    weights = np.where(valid, rest[:, None], 0.0)
+    weights[:, 0] = np.where(multi, primary_weight, 1.0)
+    return weights
+
+
+def distributions_from_arrays(
+    arrays: LabelArrays,
+    page_ids: np.ndarray,
+    page_vocab_size: int,
+    num_offsets: int = NUM_OFFSETS,
+    primary_weight: float = 0.5,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Target distributions from :func:`label_arrays` output.
+
+    ``page_ids`` holds the vocab id of every *trace position* (one
+    ``encode_all`` pass over the trace), gathered through ``src`` —
+    this is where distinct OOV pages collapse onto the OOV id, exactly
+    as ``page_ids_of`` collapses them in the scalar path.  The
+    ``np.add.at`` scatter visits labels in row-major order, matching
+    the scalar loop's per-row label order, so accumulation onto shared
+    columns is bit-identical.
+    """
+    weights = label_weights(arrays.valid, primary_weight)
+    N = arrays.valid.shape[0]
+    page_t = np.zeros((N, page_vocab_size))
+    off_t = np.zeros((N, num_offsets))
+    ri, ci = np.nonzero(arrays.valid)
+    w_flat = weights[ri, ci]
+    np.add.at(page_t, (ri, page_ids[arrays.src[ri, ci]]), w_flat)
+    np.add.at(off_t, (ri, arrays.offsets[ri, ci]), w_flat)
     return page_t, off_t

@@ -224,7 +224,7 @@ def run_loadgen(
     """
     config = config or LoadGenConfig()
     started = time.perf_counter()
-    neural = _train_neural(mixed_training_trace(profile, seed), profile, seed)
+    neural, _ = _train_neural(mixed_training_trace(profile, seed), profile, seed)
     train_s = time.perf_counter() - started
     traces = stream_traces(profile, config, seed)
     total = sum(len(t) for t in traces)

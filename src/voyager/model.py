@@ -21,6 +21,7 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass
 from pathlib import Path
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
@@ -176,12 +177,22 @@ def project_features(
 ) -> np.ndarray:
     """Input projections ``x[:, t] @ w_x`` for every window column.
 
-    Projected column by column so each matmul has the exact shape
-    :func:`lstm_step` would use — keeping the result bit-identical to
-    projecting inside the cell step regardless of BLAS blocking.
+    For ``B > 1`` the whole window batch is projected in one fused
+    ``(B*H, 3d) @ w_x`` matmul.  OpenBLAS blocks gemm over the *m*
+    dimension, so stacking more rows does not change any row's dot
+    products — the fused product is bit-identical to the per-column
+    loop at every shape this repo ships, and an equivalence test pins
+    that.  ``B == 1`` keeps the per-column loop: single-row products
+    dispatch to a different (gemv) kernel whose reduction order differs
+    from gemm's, so fusing would change bits exactly where
+    :func:`lstm_step` (which also runs the gemv kernel at ``B == 1``)
+    must stay bit-bound to this projection.
     """
     B, H = x.shape[0], x.shape[1]
     w_x = params["w_x"]
+    if B > 1:
+        flat = np.ascontiguousarray(x).reshape(B * H, -1)
+        return (flat @ w_x).reshape(B, H, -1)
     ax = np.empty((B, H, w_x.shape[1]), dtype=x.dtype)
     for t in range(H):
         ax[:, t, :] = x[:, t, :] @ w_x
@@ -253,14 +264,16 @@ def state_from_features(
     params: Dict[str, np.ndarray],
     x: np.ndarray,  # (B, H, 3d)
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Run the LSTM over precomputed window features from a zero state."""
-    B = x.shape[0]
-    h_dim = params["w_h"].shape[0]
-    h_t = np.zeros((B, h_dim), dtype=params["w_h"].dtype)
-    c_t = np.zeros((B, h_dim), dtype=params["w_h"].dtype)
-    for t in range(x.shape[1]):
-        h_t, c_t, _ = lstm_step(params, x[:, t, :], h_t, c_t)
-    return h_t, c_t
+    """Run the LSTM over precomputed window features from a zero state.
+
+    Projects the whole window up front (:func:`project_features`, fused
+    for ``B > 1``) and then runs the projected cell steps — bit-identical
+    to calling :func:`lstm_step` per column (the association
+    ``(x @ w_x + h @ w_h) + b`` is preserved, see
+    :func:`lstm_step_projected`) while paying only the recurrent matmul
+    per timestep.
+    """
+    return state_from_projected(params, project_features(params, x))
 
 
 def window_state(
@@ -408,13 +421,19 @@ class HierarchicalModel:
         offset_ids: np.ndarray,
         page_targets: np.ndarray,
         offset_targets: np.ndarray,
+        phases: Optional[Dict[str, float]] = None,
     ) -> Tuple[float, Dict[str, np.ndarray]]:
         """Mean cross-entropy of both heads plus gradients for Adam.
 
         ``page_targets``/``offset_targets`` are target *distributions*
         of shape ``(B, page_vocab)`` / ``(B, num_offsets)`` (rows sum to
         one; multi-label sets are uniform over their members).
+
+        ``phases``, when given, accumulates wall time into its
+        ``"forward"`` and ``"backward"`` keys (used by
+        ``train(profile=True)``); it never changes the arithmetic.
         """
+        t0 = perf_counter()
         page_probs, offset_probs, cache = self.forward(
             pc_ids, page_ids, offset_ids
         )
@@ -423,12 +442,17 @@ class HierarchicalModel:
         loss_page = -(page_targets * np.log(page_probs + eps)).sum() / B
         loss_offset = -(offset_targets * np.log(offset_probs + eps)).sum() / B
         loss = loss_page + loss_offset
+        if phases is not None:
+            phases["forward"] += perf_counter() - t0
+            t0 = perf_counter()
 
         grads = self._backward(
             cache,
             d_page_logits=(page_probs - page_targets) / B,
             d_offset_logits=(offset_probs - offset_targets) / B,
         )
+        if phases is not None:
+            phases["backward"] += perf_counter() - t0
         return float(loss), grads
 
     def _backward(
@@ -482,6 +506,248 @@ class HierarchicalModel:
         d_page_emb = dx[:, :, d : 2 * d]
         d_off_emb = dx[:, :, 2 * d :]
 
+        g_off_table, g_w_query, g_page_from_attn = page_aware_offset_backward(
+            p["offset_embed"], p["w_query"], d_off_emb, cache["attn"]
+        )
+        grads["offset_embed"] = g_off_table
+        grads["w_query"] = g_w_query
+        d_page_emb = d_page_emb + g_page_from_attn
+
+        grads["pc_embed"] = embedding_backward(
+            p["pc_embed"], cache["pc_ids"], d_pc_emb
+        )
+        grads["page_embed"] = embedding_backward(
+            p["page_embed"], cache["page_ids"], d_page_emb
+        )
+        return grads
+
+    # ------------------------------------------------------------------
+    # sequence (truncated-BPTT) forward + backward
+    # ------------------------------------------------------------------
+    def forward_sequence(
+        self,
+        pc_ids: np.ndarray,  # (B, T)
+        page_ids: np.ndarray,  # (B, T)
+        offset_ids: np.ndarray,  # (B, T)
+        h0: Optional[np.ndarray] = None,
+        c0: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, Dict, Tuple[np.ndarray, np.ndarray]]:
+        """Run the model over ``(B, T)`` contiguous segments, heads at every step.
+
+        Unlike :meth:`forward` — which replays an ``H``-long window per
+        supervised position — this evaluates each cell exactly once and
+        reads out both heads at *every* timestep, so a segment of length
+        ``T`` supervises ``T`` positions at ``O(T)`` cell cost.  ``T``
+        is arbitrary (no ``history`` check).  ``h0``/``c0`` carry LSTM
+        state in from the previous TBPTT chunk of the same segment;
+        ``None`` starts from zeros.
+
+        Embeddings and attention are gathered for the whole segment at
+        once, the input projection is one fused matmul
+        (:func:`project_features`), and only the recurrent ``h @ w_h``
+        product runs per timestep.
+
+        Returns ``(page_probs, offset_probs, cache, (h, c))`` with probs
+        of shape ``(B, T, vocab)`` and the final state for chunk
+        chaining.
+        """
+        p = self.params
+        h_dim = self.config.hidden_dim
+        B, T = pc_ids.shape
+
+        pc_emb = embedding_forward(p["pc_embed"], pc_ids)
+        page_emb = embedding_forward(p["page_embed"], page_ids)
+        off_emb, attn_cache = page_aware_offset_forward(
+            p["offset_embed"], p["w_query"], page_emb, offset_ids
+        )
+        x = np.concatenate([pc_emb, page_emb, off_emb], axis=-1)  # (B,T,3d)
+        ax = project_features(p, x)
+
+        dtype = p["w_h"].dtype
+        h_first = np.zeros((B, h_dim), dtype=dtype) if h0 is None else h0
+        c_first = np.zeros((B, h_dim), dtype=dtype) if c0 is None else c0
+        h_t, c_t = h_first, c_first
+        hs = np.empty((B, T, h_dim), dtype=dtype)
+        # The i/f/g/o activations, tanh(c), and the previous h/c per
+        # step form the backward cache.  h_prev/c_prev are not copied:
+        # step t's predecessors are hs[:, t-1] (resp. the chunk-entry
+        # state), which _backward_sequence reconstructs by shifting.
+        gates = {
+            name: np.empty((B, T, h_dim), dtype=dtype)
+            for name in ("i", "f", "g", "o", "tanh_c")
+        }
+        cs = np.empty((B, T, h_dim), dtype=dtype)
+        w_h, b_lstm = p["w_h"], p["b_lstm"]
+        for t in range(T):
+            a = ax[:, t, :] + h_t @ w_h
+            a += b_lstm
+            h_t, c_t, i_g, f_g, g_g, o_g, tanh_c = _lstm_activate(
+                a, c_t, h_dim
+            )
+            gates["i"][:, t] = i_g
+            gates["f"][:, t] = f_g
+            gates["g"][:, t] = g_g
+            gates["o"][:, t] = o_g
+            gates["tanh_c"][:, t] = tanh_c
+            cs[:, t] = c_t
+            hs[:, t] = h_t
+
+        flat = hs.reshape(B * T, h_dim)
+        page_logits, offset_logits = head_logits(p, flat)
+        page_probs = softmax(page_logits).reshape(B, T, -1)
+        offset_probs = softmax(offset_logits).reshape(B, T, -1)
+        cache = {
+            "pc_ids": pc_ids,
+            "page_ids": page_ids,
+            "attn": attn_cache,
+            "x": x,
+            "hs": hs,
+            "cs": cs,
+            "h0": h_first,
+            "c0": c_first,
+            "gates": gates,
+        }
+        return page_probs, offset_probs, cache, (h_t, c_t)
+
+    def loss_and_grads_sequence(
+        self,
+        pc_ids: np.ndarray,  # (B, T)
+        page_ids: np.ndarray,  # (B, T)
+        offset_ids: np.ndarray,  # (B, T)
+        label_page_ids: np.ndarray,  # (B, T, L) target page vocab ids
+        label_offsets: np.ndarray,  # (B, T, L) target offsets
+        label_weights: np.ndarray,  # (B, T, L) target mass, 0 = padding
+        h0: Optional[np.ndarray] = None,
+        c0: Optional[np.ndarray] = None,
+        phases: Optional[Dict[str, float]] = None,
+    ) -> Tuple[float, Dict[str, np.ndarray], Tuple[np.ndarray, np.ndarray]]:
+        """Per-timestep cross-entropy over a segment batch, with full BPTT.
+
+        Targets arrive *sparse*: up to ``L`` labels per timestep as
+        parallel id/weight arrays (see
+        :class:`voyager.train.SequenceDataset`), with weight 0 marking
+        padding slots, so the loss gathers ``L`` probabilities per
+        position instead of materialising dense ``(B, T, vocab)``
+        target tensors.  The loss is the mean over all ``B * T``
+        supervised positions of both heads' cross-entropies — the same
+        per-position quantity :meth:`loss_and_grads` averages over its
+        batch.
+
+        Gradients flow through every timestep down to the embeddings;
+        ``h0``/``c0`` are treated as constants (truncated BPTT — no
+        gradient crosses the chunk boundary).  Returns
+        ``(loss, grads, (h, c))`` where the state feeds the next chunk.
+        ``phases`` accumulates ``"forward"``/``"backward"`` wall time
+        like in :meth:`loss_and_grads`.
+        """
+        t0 = perf_counter()
+        page_probs, offset_probs, cache, state = self.forward_sequence(
+            pc_ids, page_ids, offset_ids, h0=h0, c0=c0
+        )
+        B, T = pc_ids.shape
+        n = B * T
+        L = label_page_ids.shape[2]
+        eps = 1e-12
+
+        pp = np.take_along_axis(page_probs, label_page_ids, axis=2)
+        op = np.take_along_axis(offset_probs, label_offsets, axis=2)
+        loss_page = -(label_weights * np.log(pp + eps)).sum() / n
+        loss_offset = -(label_weights * np.log(op + eps)).sum() / n
+        loss = loss_page + loss_offset
+        if phases is not None:
+            phases["forward"] += perf_counter() - t0
+            t0 = perf_counter()
+
+        # d_logits = (probs - targets) / n, with the target subtraction
+        # done as a sparse scatter.  Padding slots carry weight 0 and
+        # subtract nothing.
+        d_page = page_probs.reshape(n, -1) / n
+        d_offset = offset_probs.reshape(n, -1) / n
+        rows = np.repeat(np.arange(n), L)
+        w_flat = label_weights.reshape(-1) / n
+        np.subtract.at(d_page, (rows, label_page_ids.reshape(-1)), w_flat)
+        np.subtract.at(d_offset, (rows, label_offsets.reshape(-1)), w_flat)
+
+        grads = self._backward_sequence(cache, d_page, d_offset)
+        if phases is not None:
+            phases["backward"] += perf_counter() - t0
+        return float(loss), grads, state
+
+    def _backward_sequence(
+        self,
+        cache: Dict,
+        d_page_logits: np.ndarray,  # (B*T, page_vocab)
+        d_offset_logits: np.ndarray,  # (B*T, num_offsets)
+    ) -> Dict[str, np.ndarray]:
+        """Backward through time for :meth:`forward_sequence`.
+
+        Only the recurrent gate chain runs per timestep; the head, input
+        projection and recurrent weight gradients are each one batched
+        matmul over the flattened ``(B*T, ·)`` arrays.
+        """
+        p = self.params
+        cfg = self.config
+        h_dim = cfg.hidden_dim
+        d = cfg.embed_dim
+        x = cache["x"]
+        hs = cache["hs"]
+        g = cache["gates"]
+        B, T = hs.shape[0], hs.shape[1]
+        n = B * T
+
+        grads: Dict[str, np.ndarray] = {}
+        hs_flat = hs.reshape(n, h_dim)
+        grads["w_page"] = hs_flat.T @ d_page_logits
+        grads["b_page"] = d_page_logits.sum(axis=0)
+        grads["w_offset"] = hs_flat.T @ d_offset_logits
+        grads["b_offset"] = d_offset_logits.sum(axis=0)
+
+        dh_ext = (
+            d_page_logits @ p["w_page"].T + d_offset_logits @ p["w_offset"].T
+        ).reshape(B, T, h_dim)
+        # Gate-derivative factors depend only on cached activations, so
+        # they batch over (B, T, h) outside the sequential loop; the
+        # loop itself carries only the dc / dh_rec recurrences.
+        i_g, f_g, g_g, o_g = g["i"], g["f"], g["g"], g["o"]
+        tanh_c = g["tanh_c"]
+        dc_fac = o_g * (1.0 - tanh_c**2)  # dh -> dc through h = o*tanh(c)
+        do_fac = tanh_c * (o_g * (1.0 - o_g))  # dh -> o pre-activation
+        i_fac = i_g * (1.0 - i_g)
+        f_fac = f_g * (1.0 - f_g)
+        g_fac = 1.0 - g_g**2
+        # Predecessor states, shifted once per chunk instead of copied
+        # per step in the forward.
+        c_prev = np.concatenate(
+            [cache["c0"][:, None], cache["cs"][:, :-1]], axis=1
+        )
+        h_prev = np.concatenate(
+            [cache["h0"][:, None], hs[:, :-1]], axis=1
+        )
+        w_h_T = p["w_h"].T
+        dc = np.zeros((B, h_dim))
+        dh_rec = np.zeros((B, h_dim))
+        da_all = np.empty((B, T, 4 * h_dim))
+        for t in range(T - 1, -1, -1):
+            dh = dh_ext[:, t]
+            dh += dh_rec
+            dc += dh * dc_fac[:, t]
+            da = da_all[:, t]
+            da[:, :h_dim] = (dc * g_g[:, t]) * i_fac[:, t]
+            da[:, h_dim : 2 * h_dim] = (dc * c_prev[:, t]) * f_fac[:, t]
+            da[:, 2 * h_dim : 3 * h_dim] = (dc * i_g[:, t]) * g_fac[:, t]
+            da[:, 3 * h_dim :] = dh * do_fac[:, t]
+            dc *= f_g[:, t]
+            dh_rec = da @ w_h_T
+
+        da_flat = da_all.reshape(n, 4 * h_dim)
+        grads["w_x"] = x.reshape(n, 3 * d).T @ da_flat
+        grads["w_h"] = h_prev.reshape(n, h_dim).T @ da_flat
+        grads["b_lstm"] = da_flat.sum(axis=0)
+        dx = (da_flat @ p["w_x"].T).reshape(B, T, 3 * d)
+
+        d_pc_emb = dx[:, :, :d]
+        d_page_emb = dx[:, :, d : 2 * d]
+        d_off_emb = dx[:, :, 2 * d :]
         g_off_table, g_w_query, g_page_from_attn = page_aware_offset_backward(
             p["offset_embed"], p["w_query"], d_off_emb, cache["attn"]
         )

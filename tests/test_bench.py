@@ -270,3 +270,101 @@ def test_main_rejects_unknown_profile():
 
     with pytest.raises(ValueError, match="unknown profile"):
         _profile_by_name("huge")
+
+
+# ----------------------------------------------------------------------
+# v5: train_mode / train_phases per trained cell, --max-train-s gate
+# ----------------------------------------------------------------------
+from voyager.bench import check_train_budget  # noqa: E402
+
+TINY_WINDOW = BenchProfile(
+    name="tiny-window",
+    trace_length=300,
+    train_steps=10,
+    embed_dim=8,
+    hidden_dim=16,
+    train_mode="window",
+    lr_schedule="constant",
+    workloads=("stride", "page_cycle"),
+    sim=SimConfig(degree=2, distance=4, latency=4),
+)
+
+
+def test_trained_cells_record_train_mode_and_phases(report):
+    for entries in report["workloads"].values():
+        for kind in ("neural", "table"):
+            entry = entries[kind]
+            assert entry["train_mode"] == "sequence"
+            phases = entry["train_phases"]
+            assert set(phases) == {
+                "encode",
+                "labels",
+                "forward",
+                "backward",
+                "optimizer",
+            }
+            assert all(v >= 0.0 for v in phases.values())
+        for kind in ("next_line", "stride"):
+            assert "train_mode" not in entries[kind]
+            assert "train_phases" not in entries[kind]
+
+
+def test_window_profile_cells_record_window_mode():
+    win = run_bench(TINY_WINDOW, seed=0)
+    assert validate_report(win) == []
+    assert win["config"]["train_mode"] == "window"
+    entry = win["workloads"]["stride"]["neural"]
+    assert entry["train_mode"] == "window"
+    assert set(entry["train_phases"]) == {
+        "encode",
+        "labels",
+        "forward",
+        "backward",
+        "optimizer",
+    }
+
+
+def test_config_records_sequence_hyperparameters(report):
+    config = report["config"]
+    assert config["train_mode"] == "sequence"
+    assert config["seq_len"] == TINY.seq_len
+    assert config["tbptt"] == TINY.tbptt
+    assert config["lr_schedule"] == TINY.lr_schedule
+    assert config["batch_size"] == TINY.batch_size
+    assert config["lr"] == TINY.lr
+
+
+def test_strip_timing_keeps_train_mode_drops_train_phases(report):
+    stripped = strip_timing_fields(report)
+    for entries in stripped["workloads"].values():
+        for kind in ("neural", "table"):
+            assert entries[kind]["train_mode"] == "sequence"
+            assert "train_phases" not in entries[kind]
+
+
+def test_validator_flags_missing_train_fields(report):
+    broken = json.loads(json.dumps(report))
+    del broken["workloads"]["stride"]["neural"]["train_mode"]
+    assert any("train_mode" in p for p in validate_report(broken))
+    broken = json.loads(json.dumps(report))
+    del broken["workloads"]["stride"]["table"]["train_phases"]
+    assert any("train_phases" in p for p in validate_report(broken))
+
+
+def test_check_train_budget_gate(report):
+    assert check_train_budget(report, 1e9) == []
+    over = check_train_budget(report, -1.0)
+    assert len(over) == len(report["workloads"])
+    assert all("exceeds budget" in p for p in over)
+    missing = {"workloads": {"stride": {"neural": {}}}}
+    assert any("no train_s" in p for p in check_train_budget(missing, 1.0))
+
+
+def test_train_phases_rounded_at_serialisation(report, tmp_path):
+    out = tmp_path / "BENCH_voyager.json"
+    write_bench(report, out)
+    loaded = json.loads(out.read_text())
+    for entries in loaded["workloads"].values():
+        for kind in ("neural", "table"):
+            for v in entries[kind]["train_phases"].values():
+                assert v == round(v, 6)

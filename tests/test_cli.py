@@ -111,6 +111,64 @@ def test_train_save_then_simulate_checkpoint(stride_trace_file, tmp_path, capsys
     assert "prefetcher=neural" in out and "coverage=" in out
 
 
+def test_sequence_train_then_stateful_simulate(tmp_path, capsys):
+    trace_path = tmp_path / "pc.txt"
+    assert main(["gen", "page_cycle", "--out", str(trace_path), "-n", "400"]) == 0
+    prefix = tmp_path / "ckpt" / "model"
+    rc = main(
+        _train_args(
+            trace_path,
+            [
+                "--train-mode",
+                "sequence",
+                "--seq-len",
+                "16",
+                "--save",
+                str(prefix),
+            ],
+        )
+    )
+    assert rc == 0
+    capsys.readouterr()
+
+    rc = main(
+        [
+            "simulate",
+            "--trace",
+            str(trace_path),
+            "--checkpoint",
+            str(prefix),
+            "--inference",
+            "stateful",
+            "--inference-seq-len",
+            "16",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "prefetcher=neural" in out
+    coverage = float(out.split("coverage=")[1].split()[0])
+    assert coverage > 0.0
+
+
+def test_simulate_stateful_without_checkpoint_is_clean_error(
+    stride_trace_file, capsys
+):
+    rc = main(
+        [
+            "simulate",
+            "--trace",
+            str(stride_trace_file),
+            "--prefetcher",
+            "next_line",
+            "--inference",
+            "stateful",
+        ]
+    )
+    assert rc == 1
+    assert "--checkpoint" in capsys.readouterr().err
+
+
 def test_simulate_missing_checkpoint_is_clean_error(
     stride_trace_file, tmp_path, capsys
 ):
@@ -178,7 +236,7 @@ def test_bench_cmd_tiny_profile(tmp_path, capsys, monkeypatch):
         hidden_dim=16,
         workloads=("stride", "page_cycle"),
     )
-    monkeypatch.setattr(cli_mod, "SMOKE_PROFILE", tiny)
+    monkeypatch.setitem(cli_mod.PROFILES, "smoke", tiny)
     out_path = tmp_path / "BENCH_voyager.json"
     rc = main(["bench", "--smoke", "--out", str(out_path)])
     assert rc == 0

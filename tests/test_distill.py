@@ -12,7 +12,6 @@ frontier/budget plumbing in :mod:`voyager.bench`.
 
 import json
 
-import numpy as np
 import pytest
 
 from voyager.baselines import StridePrefetcher, next_line_candidates
@@ -543,3 +542,109 @@ def test_smoke_profile_distill_config_matches_issue_policy():
     config = SMOKE_PROFILE.distill_config()
     assert config.top_k == SMOKE_PROFILE.sim.degree + SMOKE_PROFILE.sim.distance
     assert config.depths == depth_chain(SMOKE_PROFILE.distill_depth)
+
+
+# ----------------------------------------------------------------------
+# stateful distillation (sequence-trained serving mode)
+# ----------------------------------------------------------------------
+SEQ_LEN = 16
+
+
+def stateful_rollouts(model, pc_vocab, page_vocab, trace, k):
+    """Reference rollouts per position via the stateful prime path."""
+    neural = NeuralPrefetcher(
+        model, pc_vocab, page_vocab, inference="stateful", seq_len=SEQ_LEN
+    )
+    neural.prime(trace, k)
+    return neural._primed
+
+
+def test_build_table_inference_validation():
+    model, pc_vocab, page_vocab, trace = distill_setup()
+    with pytest.raises(ValueError, match="inference"):
+        build_table(model, pc_vocab, page_vocab, trace, inference="rnn")
+    with pytest.raises(ValueError, match="seq_len"):
+        build_table(
+            model,
+            pc_vocab,
+            page_vocab,
+            trace,
+            inference="stateful",
+            seq_len=0,
+        )
+
+
+def test_stateful_table_covers_pre_window_positions():
+    """Stateful distillation records contexts from position 0 — a trace
+    shorter than ``history`` still compiles (window mode returns empty)."""
+    model, pc_vocab, page_vocab, trace = distill_setup()
+    short = trace[: HISTORY - 1]
+    config = DistillConfig(depths=(1,), top_k=2, table_size=100)
+    empty = build_table(model, pc_vocab, page_vocab, short, config)
+    assert empty.total_entries == 0
+    table = build_table(
+        model,
+        pc_vocab,
+        page_vocab,
+        short,
+        config,
+        inference="stateful",
+        seq_len=SEQ_LEN,
+    )
+    assert table.total_entries > 0
+    triples = encoded_triples(pc_vocab, page_vocab, short)
+    hit, depth = table.lookup(triples[:1])
+    assert depth == 1 and hit is not None
+
+
+def test_every_stateful_entry_is_a_real_stateful_rollout():
+    """No blending in stateful mode either: each stored list equals the
+    stateful prime rollout of some position whose context matches."""
+    model, pc_vocab, page_vocab, trace = distill_setup("random_walk", seed=3)
+    config = DistillConfig(depths=(2, 1), top_k=TOP_K, table_size=10_000)
+    table = build_table(
+        model,
+        pc_vocab,
+        page_vocab,
+        trace,
+        config,
+        inference="stateful",
+        seq_len=SEQ_LEN,
+    )
+    rollouts = stateful_rollouts(model, pc_vocab, page_vocab, trace, TOP_K)
+    triples = encoded_triples(pc_vocab, page_vocab, trace)
+
+    seen = {depth: {} for depth in config.depths}
+    for pos in range(len(trace)):
+        for depth in config.depths:
+            if depth > pos + 1:
+                continue
+            key = tuple(
+                v for t in triples[pos - depth + 1 : pos + 1] for v in t
+            )
+            seen[depth].setdefault(key, []).append(tuple(rollouts[pos]))
+
+    assert table.total_entries > 0
+    for depth, entries in table.tables.items():
+        for key, cands in entries.items():
+            assert cands in seen[depth][key]
+
+
+def test_stateful_table_simulates_with_stateful_neural_coverage():
+    """End to end: distilling in the matching mode keeps the table's
+    candidates aligned with the stateful neural prefetcher's."""
+    model, pc_vocab, page_vocab, trace = distill_setup("stride")
+    config = DistillConfig(depths=(2, 1), top_k=6, table_size=10_000)
+    table = build_table(
+        model,
+        pc_vocab,
+        page_vocab,
+        trace,
+        config,
+        inference="stateful",
+        seq_len=SEQ_LEN,
+    )
+    pf = TablePrefetcher(table)
+    result = simulate(trace, pf, SimConfig(degree=2, distance=2))
+    assert result.prefetcher == "table"
+    assert result.issued_prefetches > 0

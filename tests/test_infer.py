@@ -382,3 +382,73 @@ def test_lstm_state_stack_and_row_round_trip():
         np.testing.assert_array_equal(stacked.row(i).h, state.h)
     with pytest.raises(ValueError, match="zero states"):
         LSTMState.stack([])
+
+
+# ----------------------------------------------------------------------
+# segment_states: one batched scan == serial per-segment replay
+# ----------------------------------------------------------------------
+def _serial_segment_states(engine, x, seq_len):
+    """Reference: replay each access serially, resetting at segment starts."""
+    n = x.shape[0]
+    hs = np.empty((n, engine.config.hidden_dim), dtype=engine.dtype)
+    cs = np.empty_like(hs)
+    state = None
+    for p in range(n):
+        if p % seq_len == 0:
+            state = engine.init_state(1)
+        state = engine.step_from_features(state, x[p : p + 1])
+        hs[p] = state.h[0]
+        cs[p] = state.c[0]
+    return hs, cs
+
+
+def test_segment_states_matches_serial_replay_row_exact(small_fit):
+    """With row_exact the batched scan is bit-identical to serial replay."""
+    trace, model, dataset = small_fit
+    engine = InferenceEngine(model, row_exact=True)
+    n = 50
+    pc = np.array(
+        dataset.pc_vocab.encode_all(a.pc for a in trace[:n]), dtype=np.int64
+    )
+    page = np.array(
+        dataset.page_vocab.encode_all(a.page for a in trace[:n]),
+        dtype=np.int64,
+    )
+    off = np.array([a.offset for a in trace[:n]], dtype=np.int64)
+    x = engine.feature_step(pc, page, off)
+    state = engine.segment_states(x, seq_len=16)
+    hs, cs = _serial_segment_states(engine, x, seq_len=16)
+    np.testing.assert_array_equal(state.h, hs)
+    np.testing.assert_array_equal(state.c, cs)
+
+
+def test_segment_states_matches_serial_replay_default_engine(small_fit):
+    """The plain BLAS engine agrees to float tolerance (gemm vs gemv)."""
+    trace, model, dataset = small_fit
+    engine = InferenceEngine(model)
+    n = 37  # ragged: 16 + 16 + 5, final segment shorter than seq_len
+    pc = np.array(
+        dataset.pc_vocab.encode_all(a.pc for a in trace[:n]), dtype=np.int64
+    )
+    page = np.array(
+        dataset.page_vocab.encode_all(a.page for a in trace[:n]),
+        dtype=np.int64,
+    )
+    off = np.array([a.offset for a in trace[:n]], dtype=np.int64)
+    x = engine.feature_step(pc, page, off)
+    state = engine.segment_states(x, seq_len=16)
+    assert state.h.shape == (n, model.config.hidden_dim)
+    hs, cs = _serial_segment_states(engine, x, seq_len=16)
+    np.testing.assert_allclose(state.h, hs, rtol=1e-12, atol=1e-14)
+    np.testing.assert_allclose(state.c, cs, rtol=1e-12, atol=1e-14)
+
+
+def test_segment_states_validation_and_empty():
+    model = tiny_model()
+    engine = InferenceEngine(model)
+    with pytest.raises(ValueError, match="seq_len"):
+        engine.segment_states(np.zeros((4, 9)), seq_len=0)
+    empty = engine.segment_states(
+        np.zeros((0, 3 * model.config.embed_dim)), seq_len=4
+    )
+    assert empty.h.shape == (0, model.config.hidden_dim)

@@ -95,3 +95,99 @@ class TestDistributions:
                 page_vocab_size=4,
                 primary_weight=0.0,
             )
+
+
+# ----------------------------------------------------------------------
+# scalar vs. vectorized label construction
+# ----------------------------------------------------------------------
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from voyager.labeling import (  # noqa: E402
+    distributions_from_arrays,
+    label_arrays,
+    label_weights,
+)
+from voyager.vocab import Vocab  # noqa: E402
+
+
+@settings(max_examples=75)
+@given(
+    pairs=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),  # tiny page space
+            st.one_of(  # offsets biased to page edges
+                st.integers(min_value=0, max_value=2),
+                st.integers(min_value=NUM_OFFSETS - 3, max_value=NUM_OFFSETS - 1),
+            ),
+        ),
+        min_size=2,
+        max_size=12,
+    ),
+    radius=st.integers(min_value=0, max_value=2),
+    window=st.integers(min_value=0, max_value=3),
+    vocab_cap=st.integers(min_value=1, max_value=4),
+)
+def test_vectorized_labels_bit_identical_to_scalar(
+    pairs, radius, window, vocab_cap
+):
+    """label_arrays + distributions_from_arrays == the scalar path, bitwise.
+
+    The tiny page space plus a capped vocab forces distinct raw pages
+    to collapse onto the OOV id, so the property also pins the
+    duplicate-OOV accumulation order (np.add.at row-major == the scalar
+    per-row label loop).
+    """
+    trace = _trace_from_pairs(pairs)
+    config = LabelConfig(spatial_radius=radius, window=window)
+    vocab = Vocab(vocab_cap).fit(a.page for a in trace)
+    positions = np.arange(len(trace) - 1)
+
+    # scalar reference
+    sets = [make_labels(trace, int(i), config) for i in positions]
+    page_ref, off_ref = labels_to_distributions(
+        sets, page_ids_of=vocab.encode, page_vocab_size=vocab.size
+    )
+
+    # vectorized path
+    arrays = label_arrays(trace, positions, config)
+    page_ids = np.array(
+        vocab.encode_all(a.page for a in trace), dtype=np.int64
+    )
+    page_vec, off_vec = distributions_from_arrays(
+        arrays, page_ids, vocab.size
+    )
+
+    np.testing.assert_array_equal(page_vec, page_ref)
+    np.testing.assert_array_equal(off_vec, off_ref)
+
+    # the masked arrays also recover make_labels' raw output exactly
+    pages = np.array([a.page for a in trace])
+    for row, pos in enumerate(positions):
+        got = [
+            (int(pages[arrays.src[row, c]]), int(arrays.offsets[row, c]))
+            for c in range(arrays.valid.shape[1])
+            if arrays.valid[row, c]
+        ]
+        assert got == sets[row]
+
+
+@settings(max_examples=30)
+@given(
+    valid_rows=st.lists(
+        st.lists(st.booleans(), min_size=1, max_size=6),
+        min_size=1,
+        max_size=5,
+    ),
+    primary_weight=st.floats(min_value=0.1, max_value=1.0),
+)
+def test_label_weights_rows_sum_to_one(valid_rows, primary_weight):
+    width = max(len(r) for r in valid_rows)
+    valid = np.zeros((len(valid_rows), width), dtype=bool)
+    for i, row in enumerate(valid_rows):
+        valid[i, : len(row)] = row
+    valid[:, 0] = True  # the primary label is always valid
+    weights = label_weights(valid, primary_weight)
+    np.testing.assert_allclose(weights.sum(axis=1), 1.0)
+    assert np.all(weights[~valid] == 0.0)

@@ -146,7 +146,7 @@ def test_serve_trace_round_robin():
     trace = page_cycle_trace(20)
     from voyager.bench import _train_neural
 
-    neural = _train_neural(trace, TINY, seed=0)
+    neural, _ = _train_neural(trace, TINY, seed=0)
     elapsed, candidates, stats = serve_trace(
         neural.model, neural.pc_vocab, neural.page_vocab, trace, streams=4
     )

@@ -161,3 +161,37 @@ def test_gradients_match_numerical():
             assert numeric == pytest.approx(analytic, rel=1e-3, abs=1e-7), (
                 f"gradient mismatch in {name}{ix}"
             )
+
+
+def test_project_features_fused_matches_per_column_loop():
+    """The B>1 fused (B*H, 3d) @ w_x matmul is bit-identical to the
+    per-column reference loop (OpenBLAS gemm blocks over rows, so row
+    dot products do not change with batch height) — the invariant that
+    lets forward_sequence fuse the projection without moving goldens."""
+    from voyager.model import project_features
+
+    model = HierarchicalModel(tiny_config())
+    rng = np.random.default_rng(9)
+    d3 = 3 * model.config.embed_dim
+    for B, H in ((2, 3), (5, 7), (16, 4)):
+        x = rng.standard_normal((B, H, d3))
+        fused = project_features(model.params, x)
+        w_x = model.params["w_x"]
+        ref = np.empty((B, H, w_x.shape[1]))
+        for t in range(H):
+            ref[:, t, :] = x[:, t, :] @ w_x
+        np.testing.assert_array_equal(fused, ref)
+
+
+def test_project_features_single_row_uses_column_form():
+    """B == 1 keeps the per-column (gemv) form so it stays bit-bound to
+    the incremental inference engine's single-row steps."""
+    from voyager.model import project_features
+
+    model = HierarchicalModel(tiny_config())
+    rng = np.random.default_rng(10)
+    x = rng.standard_normal((1, 4, 3 * model.config.embed_dim))
+    out = project_features(model.params, x)
+    w_x = model.params["w_x"]
+    for t in range(4):
+        np.testing.assert_array_equal(out[0, t], (x[:, t, :] @ w_x)[0])

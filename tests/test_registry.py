@@ -100,7 +100,7 @@ def test_profile_with_workloads_override_and_errors():
 def test_bench_cli_workloads_subset(tmp_path, capsys, monkeypatch):
     import voyager.cli as cli_mod
 
-    monkeypatch.setattr(cli_mod, "SMOKE_PROFILE", TINY)
+    monkeypatch.setitem(cli_mod.PROFILES, "smoke", TINY)
     out = tmp_path / "BENCH_voyager.json"
     rc = main(
         [

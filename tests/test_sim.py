@@ -257,3 +257,99 @@ def test_neural_prefetcher_simulates_end_to_end(trained_neural):
     assert result.prefetcher == "neural"
     assert result.issued_prefetches > 0
     assert result.misses <= result.baseline_misses + result.issued_prefetches
+
+
+# ----------------------------------------------------------------------
+# stateful inference mode (sequence-trained models)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def trained_stateful():
+    from voyager.train import build_sequence_dataset
+
+    trace = page_cycle_trace(400)
+    dataset = build_sequence_dataset(trace, seq_len=32)
+    config = ModelConfig(
+        pc_vocab_size=dataset.pc_vocab.size,
+        page_vocab_size=dataset.page_vocab.size,
+        embed_dim=8,
+        hidden_dim=16,
+        history=8,
+        seed=0,
+    )
+    model = HierarchicalModel(config)
+    train(model, dataset, steps=40, batch_size=8, lr=0.02, tbptt=8)
+    return trace, model, dataset
+
+
+def test_stateful_prefetcher_validation(trained_stateful):
+    trace, model, dataset = trained_stateful
+    with pytest.raises(ValueError, match="inference"):
+        NeuralPrefetcher(
+            model, dataset.pc_vocab, dataset.page_vocab, inference="rnn"
+        )
+    with pytest.raises(ValueError, match="seq_len"):
+        NeuralPrefetcher(
+            model,
+            dataset.pc_vocab,
+            dataset.page_vocab,
+            inference="stateful",
+            seq_len=0,
+        )
+
+
+def test_stateful_prefetcher_predicts_from_first_access(trained_stateful):
+    """No history warm-up: carried state predicts from access 0."""
+    trace, model, dataset = trained_stateful
+    pf = NeuralPrefetcher(
+        model,
+        dataset.pc_vocab,
+        dataset.page_vocab,
+        inference="stateful",
+        seq_len=32,
+    )
+    pf.update(trace[0])
+    assert len(pf.prefetch(trace[0], degree=2)) <= 2
+    # a window prefetcher is still silent here (cold window)
+    cold = NeuralPrefetcher(model, dataset.pc_vocab, dataset.page_vocab)
+    cold.update(trace[0])
+    assert cold.prefetch(trace[0], degree=2) == []
+
+
+def test_stateful_streaming_and_primed_candidates_agree(trained_stateful):
+    """The primed segment_states transform preserves per-position
+    predictions of the streaming stateful prefetcher."""
+    trace, model, dataset = trained_stateful
+
+    def make():
+        return NeuralPrefetcher(
+            model,
+            dataset.pc_vocab,
+            dataset.page_vocab,
+            inference="stateful",
+            seq_len=32,
+        )
+
+    primed = make()
+    primed.prime(trace, lookahead=4)
+    streaming = make()
+    for i, access in enumerate(trace[:120]):
+        primed.update(access)
+        streaming.update(access)
+        assert primed.prefetch(access, 4) == streaming.prefetch(
+            access, 4
+        ), f"candidate mismatch at position {i}"
+
+
+def test_stateful_simulates_end_to_end(trained_stateful):
+    trace, model, dataset = trained_stateful
+    pf = NeuralPrefetcher(
+        model,
+        dataset.pc_vocab,
+        dataset.page_vocab,
+        inference="stateful",
+        seq_len=32,
+    )
+    result = simulate(trace, pf, SimConfig(degree=2, distance=2))
+    assert result.prefetcher == "neural"
+    assert result.issued_prefetches > 0
+    assert result.misses <= result.baseline_misses + result.issued_prefetches

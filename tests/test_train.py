@@ -140,3 +140,38 @@ def test_accuracy_helper_validates_shapes():
     assert accuracy([], []) == 0.0
     with pytest.raises(ValueError):
         accuracy([1, 2], [1])
+
+
+class TestVocabReuse:
+    """build_dataset's pre-fit vocab handling (the `is None` contract).
+
+    A provided vocab must be used verbatim — even when oddly shaped —
+    and only a *missing* vocab is fitted; a truthiness test would
+    silently refit both.
+    """
+
+    def test_provided_vocabs_reused_verbatim(self, page_cycle_trace_small):
+        from voyager.vocab import Vocab
+
+        trace = page_cycle_trace_small
+        other = [a for a in trace[: len(trace) // 3]]
+        pc_vocab = Vocab(1024).fit(a.pc for a in other)
+        page_vocab = Vocab(1024).fit(a.page for a in other)
+        before = (pc_vocab.size, page_vocab.size)
+        dataset = build_dataset(
+            trace, history=4, pc_vocab=pc_vocab, page_vocab=page_vocab
+        )
+        assert dataset.pc_vocab is pc_vocab
+        assert dataset.page_vocab is page_vocab
+        assert (pc_vocab.size, page_vocab.size) == before
+
+    def test_only_missing_vocab_is_fit(self, page_cycle_trace_small):
+        from voyager.vocab import Vocab
+
+        trace = page_cycle_trace_small
+        pc_vocab = Vocab(1024)  # unfit: size 1 (OOV only), still valid
+        dataset = build_dataset(trace, history=4, pc_vocab=pc_vocab)
+        assert dataset.pc_vocab is pc_vocab
+        assert pc_vocab.size == 1  # never silently refit
+        assert (dataset.pc_ids == 0).all()  # everything encodes to OOV
+        assert dataset.page_vocab.size > 1  # the absent one was fitted
