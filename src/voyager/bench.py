@@ -65,7 +65,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from voyager import synthetic
 from voyager.distill import DistillConfig, build_table, depth_chain
-from voyager.ioutil import atomic_write_text
+from voyager.ioutil import atomic_write_text, round_floats
 from voyager.labeling import LabelConfig
 from voyager.model import HierarchicalModel, ModelConfig
 from voyager.sim import NeuralPrefetcher, SimConfig, make_prefetcher, simulate
@@ -88,7 +88,13 @@ from voyager.train import build_dataset, build_sequence_dataset, train
 #: /``lr``; neural and table cells record ``train_mode`` and a
 #: ``train_phases`` breakdown; new ``--max-train-s`` training-time
 #: gate.
-BENCH_SCHEMA_VERSION = 5
+#: v6: the ``serving`` section gains an ``open_loop`` block (sharded
+#: pool: per-shard and aggregate req/s, arrival process parameters,
+#: open-loop p50/p95/p99 measured from scheduled arrival,
+#: shed/evicted/spilled/restored counters, ``responses_equal_single``,
+#: optional ``overload`` QoS-shedding histogram); the closed-loop keys
+#: are unchanged and now optional when the open-loop block is present.
+BENCH_SCHEMA_VERSION = 6
 
 #: Canonical report filename at the repo root.
 BENCH_FILENAME = "BENCH_voyager.json"
@@ -490,10 +496,7 @@ def _rounded_for_json(report: Dict[str, Any]) -> Dict[str, Any]:
                     entry[key] = round(entry[key], 3)
             for phases_key in ("phases", "train_phases"):
                 if isinstance(entry.get(phases_key), dict):
-                    entry[phases_key] = {
-                        k: round(v, 6)
-                        for k, v in entry[phases_key].items()
-                    }
+                    entry[phases_key] = round_floats(entry[phases_key])
             if isinstance(entry.get("distill_s"), float):
                 entry["distill_s"] = round(entry["distill_s"], 3)
             workloads[workload][kind] = entry
@@ -678,21 +681,82 @@ def validate_report(report: Dict[str, Any]) -> List[str]:
 def validate_serving(serving: Any) -> List[str]:
     """Shape-check a report's ``serving`` section (empty list = ok).
 
-    The section is produced by :func:`voyager.loadgen.run_loadgen`;
-    only the cross-PR contract is checked here so the bench side stays
-    independent of the load generator.
+    The section is produced by :func:`voyager.loadgen.run_loadgen`
+    (closed-loop keys) and :func:`voyager.loadgen.run_open_loop_bench`
+    (the ``open_loop`` block); only the cross-PR contract is checked
+    here so the bench side stays independent of the load generator.
+    The two halves are written by different CI jobs, so each is
+    validated only when present — but at least one must be.
     """
     if not isinstance(serving, dict):
         return ["serving: expected a dict"]
     problems: List[str] = []
-    if not isinstance(serving.get("streams"), int) or serving.get("streams", 0) < 1:
-        problems.append("serving: missing streams")
-    for key in ("throughput_accesses_per_s", "speedup_vs_serial"):
-        value = serving.get(key)
-        if not isinstance(value, (int, float)) or value <= 0:
-            problems.append(f"serving: missing {key}")
-    if serving.get("responses_equal_serial") is not True:
-        problems.append("serving: responses_equal_serial is not true")
+    has_open_loop = "open_loop" in serving
+    has_closed_loop = any(
+        key in serving
+        for key in ("throughput_accesses_per_s", "speedup_vs_serial")
+    )
+    if not has_open_loop and not has_closed_loop:
+        return ["serving: neither closed-loop keys nor open_loop present"]
+    if has_closed_loop:
+        if (
+            not isinstance(serving.get("streams"), int)
+            or serving.get("streams", 0) < 1
+        ):
+            problems.append("serving: missing streams")
+        for key in ("throughput_accesses_per_s", "speedup_vs_serial"):
+            value = serving.get(key)
+            if not isinstance(value, (int, float)) or value <= 0:
+                problems.append(f"serving: missing {key}")
+        if serving.get("responses_equal_serial") is not True:
+            problems.append("serving: responses_equal_serial is not true")
+    if has_open_loop:
+        problems += _validate_open_loop(serving["open_loop"])
+    return problems
+
+
+def _validate_open_loop(section: Any) -> List[str]:
+    """Shape-check the serving section's ``open_loop`` block."""
+    if not isinstance(section, dict):
+        return ["open_loop: expected a dict"]
+    problems: List[str] = []
+    if (
+        not isinstance(section.get("requests"), int)
+        or section.get("requests", 0) < 1
+    ):
+        problems.append("open_loop: missing requests")
+    arrival = section.get("arrival")
+    if not isinstance(arrival, dict) or "process" not in arrival:
+        problems.append("open_loop: missing arrival process parameters")
+    runs = section.get("runs")
+    if not isinstance(runs, list) or not runs:
+        problems.append("open_loop: missing runs")
+        runs = []
+    for run in runs:
+        if not isinstance(run, dict):
+            problems.append("open_loop: run entry is not a dict")
+            continue
+        shards = run.get("shards")
+        label = f"open_loop run shards={shards}"
+        throughput = run.get("aggregate_throughput_per_s")
+        if not isinstance(throughput, (int, float)) or throughput <= 0:
+            problems.append(f"{label}: missing aggregate_throughput_per_s")
+        latency = run.get("latency")
+        if not isinstance(latency, dict):
+            problems.append(f"{label}: missing latency summary")
+        else:
+            for key in ("p50_s", "p95_s", "p99_s"):
+                if not isinstance(latency.get(key), (int, float)):
+                    problems.append(f"{label}: latency missing {key}")
+        counters = run.get("counters")
+        if not isinstance(counters, dict):
+            problems.append(f"{label}: missing counters")
+        else:
+            for key in ("shed", "evicted", "spilled", "restored"):
+                if not isinstance(counters.get(key), int):
+                    problems.append(f"{label}: counters missing {key}")
+    if section.get("responses_equal_single") is not True:
+        problems.append("open_loop: responses_equal_single is not true")
     return problems
 
 

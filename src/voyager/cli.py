@@ -5,6 +5,7 @@ Subcommands:
 - ``gen`` — write a synthetic trace file (any registry workload):
   ``python -m voyager gen stride --out trace.txt -n 2000``
 - ``workloads`` — list the workload registry with descriptions
+  (``--json`` for machine-readable output)
 - ``ingest`` — convert an external ChampSim/ML-DPC-style CSV trace
   (plain or gzip, configurable column order) into the native format,
   printing summary stats:
@@ -29,7 +30,12 @@ Subcommands:
   ``python -m voyager serve --trace trace.txt --checkpoint ckpt/model``
 - ``serve-bench`` — benchmark the serving layer under synthetic
   multi-stream load and merge a ``serving`` section into the bench
-  report: ``python -m voyager serve-bench --profile smoke --streams 8``
+  report: ``python -m voyager serve-bench --profile smoke --streams 8``.
+  With ``--open-loop`` it instead drives the sharded server pool from
+  a seeded Poisson/ON-OFF arrival schedule (``--shards``,
+  ``--shard-sweep``, ``--rate``, ``--qos-mix``, ``--spill-dir``) and
+  gates open-loop p95/p99 SLOs and aggregate throughput
+  (``--max-p95-ms``/``--max-p99-ms``/``--min-throughput``)
 
 All randomness is seeded, so repeated runs with the same arguments
 print identical numbers (bench/serve wall-clock fields aside).
@@ -38,6 +44,7 @@ print identical numbers (bench/serve wall-clock fields aside).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -160,8 +167,13 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("-n", "--length", type=int, default=2000)
     gen.add_argument("--seed", type=int, default=0)
 
-    sub.add_parser(
+    workloads = sub.add_parser(
         "workloads", help="list the workload registry with descriptions"
+    )
+    workloads.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the registry as a JSON list (for tooling/CI)",
     )
 
     ingest = sub.add_parser(
@@ -451,6 +463,17 @@ def run_generate(args: argparse.Namespace) -> int:
 
 
 def run_workloads(args: argparse.Namespace) -> int:
+    if getattr(args, "json", False):
+        print(
+            json.dumps(
+                [
+                    {"name": spec.name, "description": spec.description}
+                    for spec in synthetic.REGISTRY.values()
+                ],
+                indent=2,
+            )
+        )
+        return 0
     for spec in synthetic.REGISTRY.values():
         print(f"{spec.name:16s} {spec.description}")
     return 0

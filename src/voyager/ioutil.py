@@ -1,5 +1,11 @@
 """Atomic file-write helpers shared by checkpoints and bench reports.
 
+Also home to :func:`round_floats`, the one shared float-rounding
+policy for serialised timing/throughput numbers: every writer of
+``BENCH_voyager.json`` (the sweep, serve-bench, the frontier sweep)
+rounds through it so the precision of recorded measurements is decided
+in exactly one place.
+
 A bench or training run killed mid-write must never leave a truncated
 ``BENCH_voyager.json`` or a half-written ``.npz``/vocab JSON pair on
 disk: consumers across PRs read those files and would fail confusingly
@@ -59,6 +65,25 @@ def atomic_write_text(
     return _atomic_write(path, lambda fh: fh.write(text), "w", encoding)
 
 
+def round_floats(value: Any, digits: int = 6) -> Any:
+    """Recursively round every float in a JSON-shaped value.
+
+    Dicts, lists and tuples are walked (tuples come back as lists, the
+    JSON-safe form); every other type passes through untouched.  This
+    is the single timing-precision policy for serialised reports:
+    measurements stay full-precision in memory (CI gates compare
+    unrounded values) and are rounded only at serialisation time, by
+    this function.
+    """
+    if isinstance(value, float):
+        return round(value, digits)
+    if isinstance(value, dict):
+        return {k: round_floats(v, digits) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [round_floats(v, digits) for v in value]
+    return value
+
+
 def atomic_savez(path: Union[str, Path], **arrays: np.ndarray) -> Path:
     """Atomically write arrays as an ``.npz`` archive to ``path``.
 
@@ -69,4 +94,4 @@ def atomic_savez(path: Union[str, Path], **arrays: np.ndarray) -> Path:
     return _atomic_write(path, lambda fh: np.savez(fh, **arrays), "wb")
 
 
-__all__ = ["atomic_savez", "atomic_write_text"]
+__all__ = ["atomic_savez", "atomic_write_text", "round_floats"]

@@ -30,8 +30,29 @@ module is that missing layer:
   ``tests/test_serve.py`` pins the equivalence — states, top-k and
   candidates — with hypothesis property tests in float64 and float32.
 - :class:`ServerStats` — request/shed/batch-size-histogram counters and
-  p50/p95 response latency measured through an injected clock, so tests
-  pin exact percentile values and production callers get wall-clock.
+  p50/p95/p99 response latency measured through an injected clock, so
+  tests pin exact percentile values and production callers get
+  wall-clock.  Latency samples live in a seeded, deterministic
+  Algorithm-R reservoir (:class:`LatencyReservoir`), so percentiles of
+  arbitrarily long runs stay unbiased instead of silently dropping the
+  oldest tail.
+- **QoS classes**: every request carries one of :data:`QOS_CLASSES`
+  (``latency`` > ``throughput`` > ``besteffort``), defaulting to its
+  stream's class.  The class feeds the ``max_pending`` backpressure
+  twice: under overload an arriving higher-class request *preempts* the
+  oldest queued lower-class one onto the shed/degrade path instead of
+  being shed itself, and the tick scheduler admits queued requests into
+  the batch in priority order (per-stream FIFO order is always
+  preserved, so the recurrence stays exact).
+- **evicted-session checkpoint/restore**: with ``ServeConfig.spill_dir``
+  set, LRU-evicted sessions serialize their :class:`LSTMState` plus
+  feature window to an atomic ``.npz`` spill file
+  (:class:`SpillStore`) and are restored transparently on the next
+  ``submit`` — total stream count can vastly exceed resident capacity,
+  and a restored session is bit-identical to one that was never
+  evicted.  In spill mode eviction skips sessions with in-flight
+  requests (deferring to end-of-tick), so checkpointing never orphans
+  a pending request.
 - optional *table-backed* serving: construct the server with a
   :class:`~voyager.distill.DistilledTable` and every request probes the
   distilled context tables first — a hit answers from the table
@@ -46,16 +67,19 @@ what lets :mod:`voyager.loadgen` assert reproducible throughput runs.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+from pathlib import Path
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple, Union
 
 import numpy as np
 
 from voyager.baselines import next_line_candidates
 from voyager.distill import DistilledTable
 from voyager.infer import InferenceEngine, LSTMState
+from voyager.ioutil import atomic_savez
 from voyager.model import HierarchicalModel
 from voyager.sim import decode_block_candidates, page_id_table
 from voyager.traces import MemoryAccess
@@ -70,6 +94,13 @@ SOURCE_ORPHANED = "orphaned"  # session evicted/closed before the tick
 
 SHED_POLICIES = ("next_line", "drop")
 
+#: Request QoS classes, best service first.  ``latency`` requests are
+#: admitted to the batch first and shed last; ``besteffort`` requests
+#: are the first onto the degrade path under overload.
+QOS_CLASSES = ("latency", "throughput", "besteffort")
+QOS_PRIORITY = {qos: rank for rank, qos in enumerate(QOS_CLASSES)}
+DEFAULT_QOS = "throughput"
+
 
 @dataclass(frozen=True)
 class ServeConfig:
@@ -80,6 +111,8 @@ class ServeConfig:
     max_pending: int = 256  # neural-eligible requests queued per tick
     max_batch: int = 64  # requests coalesced into one tick
     shed_policy: str = "next_line"  # overload response: degrade or drop
+    spill_dir: Optional[str] = None  # evicted-session checkpoint store
+    stats_seed: int = 0  # seeds the latency reservoir's RNG
 
     def __post_init__(self) -> None:
         if self.degree < 1:
@@ -99,6 +132,12 @@ class ServeConfig:
                 f"shed_policy must be one of {SHED_POLICIES}, "
                 f"got {self.shed_policy!r}"
             )
+        if self.spill_dir is not None and not str(self.spill_dir).strip():
+            raise ValueError("spill_dir must be a non-empty path or None")
+        if self.stats_seed < 0:
+            raise ValueError(
+                f"stats_seed must be >= 0, got {self.stats_seed}"
+            )
 
 
 @dataclass(frozen=True)
@@ -110,6 +149,7 @@ class PrefetchResponse:
     candidates: List[int]  # candidate block addresses, nearest first
     source: str  # one of the SOURCE_* constants
     latency_s: float  # submit -> response, via the injected clock
+    qos: str = DEFAULT_QOS  # QoS class the request was served under
 
 
 class StreamSession:
@@ -122,13 +162,23 @@ class StreamSession:
     stream's state.
     """
 
-    __slots__ = ("stream_id", "state", "pc_ids", "feats", "ctx", "accesses")
+    __slots__ = (
+        "stream_id",
+        "state",
+        "pc_ids",
+        "feats",
+        "ctx",
+        "accesses",
+        "qos",
+        "pending",
+    )
 
     def __init__(
         self,
         stream_id: Hashable,
         engine: InferenceEngine,
         ctx_depth: int = 0,
+        qos: str = DEFAULT_QOS,
     ):
         self.stream_id = stream_id
         self.state = engine.init_state(1)
@@ -139,17 +189,84 @@ class StreamSession:
         # lookups; empty (maxlen=0) on servers without a table.
         self.ctx: deque = deque(maxlen=ctx_depth)
         self.accesses = 0
+        self.qos = qos  # default class for this stream's requests
+        self.pending = 0  # in-flight requests (guards spill eviction)
+
+
+class LatencyReservoir:
+    """Seeded Algorithm-R reservoir over a latency stream.
+
+    The first ``capacity`` observations are kept verbatim; afterwards
+    the ``n``-th observation replaces a uniformly random slot with
+    probability ``capacity / n`` (Vitter's Algorithm R), so the held
+    sample is a uniform draw from *everything observed* — unlike the
+    old ``deque(maxlen=...)`` window, which silently dropped the oldest
+    tail and biased long-run percentiles toward recent traffic.  The
+    replacement RNG is seeded, so two servers fed identical latency
+    streams report identical percentiles.  Count, max and mean are
+    tracked exactly (outside the reservoir); only the percentiles are
+    estimates, and ``tests/test_serve.py`` bounds their bias.
+    """
+
+    def __init__(self, capacity: int = 65536, seed: int = 0):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.observed = 0  # total values ever seen (exact)
+        self._sum = 0.0  # exact running sum -> exact mean
+        self._max = 0.0  # exact running max
+        self._samples: List[float] = []
+        self._rng = np.random.default_rng(seed)
+
+    def add(self, value: float) -> None:
+        self.observed += 1
+        self._sum += value
+        if value > self._max:
+            self._max = value
+        if len(self._samples) < self.capacity:
+            self._samples.append(value)
+        else:
+            j = int(self._rng.integers(0, self.observed))
+            if j < self.capacity:
+                self._samples[j] = value
+
+    @property
+    def samples(self) -> List[float]:
+        """Copy of the currently held sample (unordered)."""
+        return list(self._samples)
+
+    @staticmethod
+    def _percentile(ordered: List[float], q: float) -> float:
+        """Nearest-rank percentile of an ascending-sorted sample list."""
+        if not ordered:
+            return 0.0
+        rank = max(1, int(np.ceil(q / 100.0 * len(ordered))))
+        return ordered[rank - 1]
+
+    def summary(self) -> Dict[str, float]:
+        """Count/max/mean (exact) plus p50/p95/p99 (from the sample)."""
+        ordered = sorted(self._samples)
+        return {
+            "count": self.observed,
+            "p50_s": self._percentile(ordered, 50.0),
+            "p95_s": self._percentile(ordered, 95.0),
+            "p99_s": self._percentile(ordered, 99.0),
+            "max_s": self._max if self.observed else 0.0,
+            "mean_s": self._sum / self.observed if self.observed else 0.0,
+        }
 
 
 class ServerStats:
     """Counters, batch-size histogram and latency percentiles.
 
-    Latency samples are bounded (a rolling window of the most recent
-    ``max_latency_samples``) so a long-lived server cannot grow its
-    stats surface without bound.
+    Latency samples live in a :class:`LatencyReservoir` of
+    ``max_latency_samples`` slots: percentiles are exact while the
+    stream fits the reservoir and unbiased (uniform-over-history)
+    estimates beyond it.  ``count``/``max_s``/``mean_s`` are always
+    exact.
     """
 
-    def __init__(self, max_latency_samples: int = 65536):
+    def __init__(self, max_latency_samples: int = 65536, seed: int = 0):
         self.requests = 0
         self.responses = 0
         self.neural = 0
@@ -161,14 +278,21 @@ class ServerStats:
         self.opened = 0
         self.closed = 0
         self.evicted = 0
+        self.spilled = 0  # evictions checkpointed to the spill store
+        self.restored = 0  # sessions brought back from the spill store
+        self.shed_by_class: Dict[str, int] = {q: 0 for q in QOS_CLASSES}
         self.batch_size_hist: Dict[int, int] = {}
-        self._latencies: deque = deque(maxlen=max_latency_samples)
+        self._reservoir = LatencyReservoir(max_latency_samples, seed)
 
     def observe_tick(self, batch_size: int) -> None:
         self.ticks += 1
         self.batch_size_hist[batch_size] = (
             self.batch_size_hist.get(batch_size, 0) + 1
         )
+
+    def observe_shed(self, qos: str) -> None:
+        self.shed += 1
+        self.shed_by_class[qos] = self.shed_by_class.get(qos, 0) + 1
 
     def observe_response(self, response: PrefetchResponse) -> None:
         self.responses += 1
@@ -180,25 +304,10 @@ class ServerStats:
             self.cold += 1
         elif response.source == SOURCE_ORPHANED:
             self.orphaned += 1
-        self._latencies.append(response.latency_s)
-
-    @staticmethod
-    def _percentile(ordered: List[float], q: float) -> float:
-        """Nearest-rank percentile of an ascending-sorted sample list."""
-        if not ordered:
-            return 0.0
-        rank = max(1, int(np.ceil(q / 100.0 * len(ordered))))
-        return ordered[rank - 1]
+        self._reservoir.add(response.latency_s)
 
     def latency_percentiles(self) -> Dict[str, float]:
-        ordered = sorted(self._latencies)
-        return {
-            "count": len(ordered),
-            "p50_s": self._percentile(ordered, 50.0),
-            "p95_s": self._percentile(ordered, 95.0),
-            "max_s": ordered[-1] if ordered else 0.0,
-            "mean_s": float(np.mean(ordered)) if ordered else 0.0,
-        }
+        return self._reservoir.summary()
 
     def snapshot(self) -> Dict[str, Any]:
         """JSON-safe view of every counter plus latency percentiles."""
@@ -209,14 +318,103 @@ class ServerStats:
             "table": self.table,
             "cold": self.cold,
             "shed": self.shed,
+            "shed_by_class": dict(self.shed_by_class),
             "orphaned": self.orphaned,
             "ticks": self.ticks,
             "opened": self.opened,
             "closed": self.closed,
             "evicted": self.evicted,
+            "spilled": self.spilled,
+            "restored": self.restored,
             "batch_size_hist": dict(sorted(self.batch_size_hist.items())),
             "latency": self.latency_percentiles(),
         }
+
+
+class SpillStore:
+    """Atomic on-disk checkpoints for evicted :class:`StreamSession`s.
+
+    One ``.npz`` file per stream (named by a stable blake2s digest of
+    ``repr(stream_id)``, so any hashable id maps to a filesystem-safe
+    name), written via :func:`~voyager.ioutil.atomic_savez` so a crash
+    mid-evict never leaves a torn checkpoint.  The payload is the
+    session's entire serving state — ``LSTMState`` rows, the sliding
+    pc-id/feature windows, distilled-table context, access count and
+    QoS class — at full bit precision, which is what lets
+    ``tests/test_serve.py`` pin a restored session bit-identical to a
+    never-evicted one.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        if self.root.exists() and not self.root.is_dir():
+            raise ValueError(
+                f"spill_dir {str(self.root)!r} exists and is not a directory"
+            )
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, stream_id: Hashable) -> Path:
+        digest = hashlib.blake2s(
+            repr(stream_id).encode("utf-8"), digest_size=16
+        ).hexdigest()
+        return self.root / f"session-{digest}.npz"
+
+    def __contains__(self, stream_id: Hashable) -> bool:
+        return self._path(stream_id).exists()
+
+    def save(self, session: StreamSession) -> Path:
+        feats = (
+            np.stack(list(session.feats))
+            if session.feats
+            else np.zeros((0, 0))
+        )
+        ctx = np.array(list(session.ctx), dtype=np.int64).reshape(
+            len(session.ctx), 3
+        )
+        return atomic_savez(
+            self._path(session.stream_id),
+            h=session.state.h,
+            c=session.state.c,
+            pc_ids=np.array(list(session.pc_ids), dtype=np.int64),
+            feats=feats,
+            ctx=ctx,
+            ctx_depth=np.int64(session.ctx.maxlen or 0),
+            accesses=np.int64(session.accesses),
+            qos=np.array(session.qos),
+        )
+
+    def load(
+        self, stream_id: Hashable, engine: InferenceEngine
+    ) -> StreamSession:
+        """Rebuild the checkpointed session; raises if never spilled."""
+        with np.load(self._path(stream_id), allow_pickle=False) as data:
+            session = StreamSession(
+                stream_id,
+                engine,
+                ctx_depth=int(data["ctx_depth"]),
+                qos=str(data["qos"]),
+            )
+            session.state = LSTMState(
+                h=data["h"].copy(), c=data["c"].copy()
+            )
+            for pc in data["pc_ids"]:
+                session.pc_ids.append(int(pc))
+            for row in data["feats"]:
+                session.feats.append(row.copy())
+            for triple in data["ctx"]:
+                session.ctx.append(
+                    (int(triple[0]), int(triple[1]), int(triple[2]))
+                )
+            session.accesses = int(data["accesses"])
+        return session
+
+    def discard(self, stream_id: Hashable) -> bool:
+        """Delete a stream's checkpoint; False if none existed."""
+        try:
+            self._path(stream_id).unlink()
+            return True
+        except FileNotFoundError:
+            return False
 
 
 @dataclass
@@ -228,6 +426,9 @@ class _Pending:
     access: MemoryAccess
     submitted_s: float
     degraded: bool  # shed at submit time: skip the rollout
+    qos: str = DEFAULT_QOS
+    session: Optional[StreamSession] = None  # holds the in-flight pin
+    done: bool = False  # resolved (stale in the admitted-class index)
 
 
 class PrefetchServer:
@@ -265,7 +466,7 @@ class PrefetchServer:
         self.pc_vocab = pc_vocab
         self.page_vocab = page_vocab
         self.clock = clock
-        self.stats = ServerStats()
+        self.stats = ServerStats(seed=self.config.stats_seed)
         self._page_table = page_id_table(page_vocab)
         self._sessions: "OrderedDict[Hashable, StreamSession]" = OrderedDict()
         self._pending: deque = deque()  # of _Pending
@@ -273,18 +474,42 @@ class PrefetchServer:
         self._seq = 0
         self._auto_stream = 0
         self._undelivered: List[PrefetchResponse] = []
+        # Evicted-session checkpoint store (None: hard LRU eviction).
+        self._spill: Optional[SpillStore] = (
+            SpillStore(self.config.spill_dir)
+            if self.config.spill_dir is not None
+            else None
+        )
+        # Per-class index into the admitted (non-degraded) queue, used
+        # to find preemption victims in O(1) amortised.  Entries go
+        # stale when resolved (``done``) or preempted (``degraded``)
+        # and are skipped lazily.
+        self._admitted: Dict[str, deque] = {q: deque() for q in QOS_CLASSES}
 
     # ------------------------------------------------------------------
     # session lifecycle
     # ------------------------------------------------------------------
-    def open_stream(self, stream_id: Optional[Hashable] = None) -> Hashable:
+    def open_stream(
+        self,
+        stream_id: Optional[Hashable] = None,
+        qos: Optional[str] = None,
+    ) -> Hashable:
         """Register a new stream session and return its id.
 
-        ``stream_id=None`` auto-assigns ``"s0"``, ``"s1"``, ....  At
+        ``stream_id=None`` auto-assigns ``"s0"``, ``"s1"``, ....
+        ``qos`` sets the stream's default QoS class (requests can
+        override per-submit); ``None`` means :data:`DEFAULT_QOS`.  At
         ``max_sessions`` capacity the least-recently-used session is
-        evicted first; its still-pending requests resolve as
-        ``orphaned`` at the next tick.
+        evicted first; without a spill store its still-pending requests
+        resolve as ``orphaned`` at the next tick.  Opening a stream id
+        discards any spilled checkpoint stored under that id.
         """
+        if qos is None:
+            qos = DEFAULT_QOS
+        elif qos not in QOS_CLASSES:
+            raise ValueError(
+                f"qos must be one of {QOS_CLASSES}, got {qos!r}"
+            )
         if stream_id is None:
             while f"s{self._auto_stream}" in self._sessions:
                 self._auto_stream += 1
@@ -292,20 +517,65 @@ class PrefetchServer:
             self._auto_stream += 1
         elif stream_id in self._sessions:
             raise ValueError(f"stream {stream_id!r} is already open")
-        while len(self._sessions) >= self.config.max_sessions:
-            self._sessions.popitem(last=False)
-            self.stats.evicted += 1
+        if self._spill is not None:
+            self._spill.discard(stream_id)  # stale checkpoint, if any
+        self._make_room()
         ctx_depth = self.table.config.max_depth if self.table else 0
         self._sessions[stream_id] = StreamSession(
-            stream_id, self.engine, ctx_depth
+            stream_id, self.engine, ctx_depth, qos
         )
         self.stats.opened += 1
         return stream_id
 
     def close_stream(self, stream_id: Hashable) -> None:
-        """Drop a session; raises :class:`KeyError` if it is not open."""
-        del self._sessions[stream_id]
+        """Drop a session (resident or spilled); KeyError if unknown."""
+        if stream_id in self._sessions:
+            del self._sessions[stream_id]
+        elif self._spill is None or not self._spill.discard(stream_id):
+            raise KeyError(stream_id)
         self.stats.closed += 1
+
+    def _make_room(self) -> None:
+        """Free a session slot before an insert, evicting LRU first.
+
+        Without a spill store this is the original hard LRU eviction
+        (in-flight requests orphan).  With one, only sessions with no
+        in-flight requests are eligible — checkpointing a session whose
+        requests are still queued would orphan them and break the
+        restore-is-bit-identical guarantee — so the table may
+        transiently exceed ``max_sessions`` (a *soft* cap); ``tick``
+        trims it back once requests resolve.
+        """
+        while len(self._sessions) >= self.config.max_sessions:
+            victim = None
+            if self._spill is None:
+                victim = next(iter(self._sessions))
+            else:
+                for sid, session in self._sessions.items():
+                    if session.pending == 0:
+                        victim = sid
+                        break
+            if victim is None:
+                break  # soft cap: every resident has in-flight work
+            self._evict(victim)
+
+    def _evict(self, stream_id: Hashable) -> None:
+        session = self._sessions.pop(stream_id)
+        if self._spill is not None:
+            self._spill.save(session)
+            self.stats.spilled += 1
+        self.stats.evicted += 1
+
+    def _restore(self, stream_id: Hashable) -> StreamSession:
+        """Bring a spilled session back as the MRU resident."""
+        if self._spill is None or stream_id not in self._spill:
+            raise KeyError(stream_id)
+        session = self._spill.load(stream_id, self.engine)
+        self._spill.discard(stream_id)
+        self._make_room()
+        self._sessions[stream_id] = session
+        self.stats.restored += 1
+        return session
 
     @property
     def open_streams(self) -> List[Hashable]:
@@ -320,37 +590,87 @@ class PrefetchServer:
     # ------------------------------------------------------------------
     # request path
     # ------------------------------------------------------------------
-    def submit(self, stream_id: Hashable, pc: int, address: int) -> int:
+    def submit(
+        self,
+        stream_id: Hashable,
+        pc: int,
+        address: int,
+        qos: Optional[str] = None,
+    ) -> int:
         """Enqueue one access for ``stream_id``; returns its sequence no.
 
-        Raises :class:`KeyError` for unknown (closed or evicted)
-        streams.  When the neural-eligible backlog is at
-        ``max_pending`` the request is *shed*: it still updates the
+        Raises :class:`KeyError` for unknown (closed, or evicted
+        without a spill store) streams; a spilled session is restored
+        transparently first.  ``qos`` overrides the stream's default
+        class for this request.  When the neural-eligible backlog is at
+        ``max_pending`` a request is *shed*: it still updates the
         stream's state at the next tick (so later predictions stay
         exact) but skips the rollout, answering with the shed policy's
-        candidates instead.
+        candidates instead.  Which request sheds is QoS-aware — an
+        arriving request preempts the oldest queued request of a
+        *strictly lower* class onto the degrade path, and is only shed
+        itself when no such victim exists.
         """
-        session = self._sessions[stream_id]
+        session = self._sessions.get(stream_id)
+        if session is None:
+            session = self._restore(stream_id)
+        if qos is None:
+            qos = session.qos
+        elif qos not in QOS_CLASSES:
+            raise ValueError(
+                f"qos must be one of {QOS_CLASSES}, got {qos!r}"
+            )
         self._sessions.move_to_end(stream_id)  # LRU touch
-        del session  # state is updated at tick time, in queue order
         seq = self._seq
         self._seq += 1
         self.stats.requests += 1
-        degraded = self._pending_neural >= self.config.max_pending
-        if degraded:
-            self.stats.shed += 1
-        else:
+        degraded = False
+        if self._pending_neural >= self.config.max_pending:
+            victim = self._shed_victim(qos)
+            if victim is not None:
+                victim.degraded = True
+                self._pending_neural -= 1
+                self.stats.observe_shed(victim.qos)
+            else:
+                degraded = True
+                self.stats.observe_shed(qos)
+        if not degraded:
             self._pending_neural += 1
-        self._pending.append(
-            _Pending(
-                seq=seq,
-                stream_id=stream_id,
-                access=MemoryAccess.from_pc_address(pc, address),
-                submitted_s=self.clock(),
-                degraded=degraded,
-            )
+        req = _Pending(
+            seq=seq,
+            stream_id=stream_id,
+            access=MemoryAccess.from_pc_address(pc, address),
+            submitted_s=self.clock(),
+            degraded=degraded,
+            qos=qos,
+            session=session,
         )
+        session.pending += 1
+        self._pending.append(req)
+        if not degraded:
+            self._admitted[qos].append(req)
         return seq
+
+    def _shed_victim(self, qos: str) -> Optional[_Pending]:
+        """Oldest admitted request of a class strictly below ``qos``.
+
+        Scans worst class first so besteffort always sheds before
+        throughput.  Stale index entries (already resolved or already
+        preempted) are dropped as they surface.  Returns ``None`` when
+        nothing outranked is queued — the arriving request then sheds
+        itself, which is also the path every same-class overload takes.
+        """
+        rank = QOS_PRIORITY[qos]
+        for cls in reversed(QOS_CLASSES):  # worst service first
+            if QOS_PRIORITY[cls] <= rank:
+                break
+            queue = self._admitted[cls]
+            while queue:
+                candidate = queue.popleft()
+                if candidate.done or candidate.degraded:
+                    continue  # stale index entry
+                return candidate
+        return None
 
     def access(self, stream_id: Hashable, pc: int, address: int) -> PrefetchResponse:
         """Submit one access and tick until its response is produced.
@@ -389,12 +709,12 @@ class PrefetchServer:
         ``k`` holds the ``k``-th pending access of each stream, which
         preserves per-stream ordering while batching across streams);
         one batched window-replay rollout serves every
-        prediction-eligible request.  Responses come back in submit
-        order.
+        prediction-eligible request.  When the backlog exceeds
+        ``max_batch``, admission is in QoS-priority order (latency
+        first) with per-stream FIFO order preserved.  Responses come
+        back in submit order.
         """
-        batch: List[_Pending] = []
-        while self._pending and len(batch) < self.config.max_batch:
-            batch.append(self._pending.popleft())
+        batch = self._select_batch()
         if not batch:
             return []
         self.stats.observe_tick(len(batch))
@@ -405,6 +725,9 @@ class PrefetchServer:
         live: List[Tuple[_Pending, StreamSession]] = []
         orphaned: Dict[int, _Pending] = {}
         for req in batch:
+            req.done = True
+            if req.session is not None:
+                req.session.pending -= 1
             if not req.degraded:
                 self._pending_neural -= 1
             session = self._sessions.get(req.stream_id)
@@ -517,10 +840,83 @@ class PrefetchServer:
                 candidates=cands,
                 source=source,
                 latency_s=now - req.submitted_s,
+                qos=req.qos,
             )
             self.stats.observe_response(response)
             responses.append(response)
+
+        # Soft-cap cleanup: sessions whose eviction was deferred while
+        # they had in-flight requests become evictable as those resolve.
+        if self._spill is not None:
+            self._trim_capacity()
         return responses
+
+    def _select_batch(self) -> List[_Pending]:
+        """Pop up to ``max_batch`` pending requests for this tick.
+
+        Backlog at or under ``max_batch``: take everything, in submit
+        order (the historical fast path).  Over it: admit by QoS
+        priority, oldest first within a class, *pulling in* any
+        earlier same-stream requests a pick depends on so every
+        stream's accesses still step its recurrence in submit order —
+        the invariant the wave decomposition (and bitwise equality
+        with serial engines) rests on.  The selected set is returned
+        in submit order; unselected requests stay queued, order
+        intact.
+        """
+        max_batch = self.config.max_batch
+        if len(self._pending) <= max_batch:
+            batch = list(self._pending)
+            self._pending.clear()
+            return batch
+        # Bounded admission window: enough to let latency-class
+        # requests jump a deep backlog without scanning all of it.
+        window_n = min(len(self._pending), max(4 * max_batch, 256))
+        window = [self._pending.popleft() for _ in range(window_n)]
+        positions: Dict[Hashable, List[int]] = {}
+        stream_rank = []  # index of window[i] within its stream
+        for i, req in enumerate(window):
+            stream = positions.setdefault(req.stream_id, [])
+            stream_rank.append(len(stream))
+            stream.append(i)
+        taken = {sid: 0 for sid in positions}  # chosen prefix length
+        order = sorted(
+            range(window_n),
+            key=lambda i: (QOS_PRIORITY.get(window[i].qos, 1), i),
+        )
+        chosen: set = set()
+        count = 0
+        for i in order:
+            if count >= max_batch:
+                break
+            sid = window[i].stream_id
+            if stream_rank[i] < taken[sid]:
+                continue  # already pulled in by a later same-stream pick
+            need = stream_rank[i] - taken[sid] + 1
+            if count + need > max_batch:
+                continue  # would split the stream's FIFO prefix
+            for k in range(taken[sid], stream_rank[i] + 1):
+                chosen.add(positions[sid][k])
+            taken[sid] = stream_rank[i] + 1
+            count += need
+        batch = [window[i] for i in sorted(chosen)]
+        leftovers = [
+            window[i] for i in range(window_n) if i not in chosen
+        ]
+        self._pending.extendleft(reversed(leftovers))
+        return batch
+
+    def _trim_capacity(self) -> None:
+        """Evict spill-eligible LRU sessions back down to the cap."""
+        while len(self._sessions) > self.config.max_sessions:
+            victim = None
+            for sid, session in self._sessions.items():
+                if session.pending == 0:
+                    victim = sid
+                    break
+            if victim is None:
+                break
+            self._evict(victim)
 
     def _degrade_candidates(self, req: _Pending) -> List[int]:
         if self.config.shed_policy == "next_line":
@@ -549,8 +945,12 @@ class PrefetchServer:
 
 
 __all__ = [
+    "DEFAULT_QOS",
+    "LatencyReservoir",
     "PrefetchResponse",
     "PrefetchServer",
+    "QOS_CLASSES",
+    "QOS_PRIORITY",
     "SHED_POLICIES",
     "SOURCE_COLD",
     "SOURCE_NEURAL",
@@ -559,5 +959,6 @@ __all__ = [
     "SOURCE_TABLE",
     "ServeConfig",
     "ServerStats",
+    "SpillStore",
     "StreamSession",
 ]

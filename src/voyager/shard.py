@@ -1,0 +1,437 @@
+"""Sharded open-loop serving: a multi-process prefetch server pool.
+
+One :class:`~voyager.serve.PrefetchServer` micro-batches across
+streams but is still a single Python process; the serving north star
+(millions of concurrent streams) needs the next tier.  This module
+partitions stream sessions across ``N`` worker processes:
+
+- :class:`HashRing` — consistent-hash stream→shard assignment: each
+  shard owns ``replicas`` virtual nodes on a 64-bit ring (stable
+  blake2b hashes, nothing process- or ``PYTHONHASHSEED``-dependent),
+  streams map to the next vnode clockwise.  Growing the pool from
+  ``N`` to ``N+1`` shards moves only the sessions captured by the new
+  shard's vnodes — ~``1/(N+1)`` of them — instead of rehashing the
+  world, which is what makes live pool resizes survivable.
+- :func:`drive_open_loop` — the per-shard driver: requests are
+  submitted at *pre-scheduled arrival times* (drawn up front by
+  :mod:`voyager.loadgen` from a seeded generator) rather than
+  lock-step request/response rounds, and latency is measured from the
+  scheduled arrival, so queueing delay under load is part of every
+  percentile — the open-loop methodology that closed-loop drivers
+  systematically underestimate (coordinated omission).
+- :func:`run_sharded` — fans shard workers over a
+  :class:`~concurrent.futures.ProcessPoolExecutor` (the same pool +
+  :func:`~voyager.bench.derive_cell_seed` discipline as ``bench
+  --jobs``: every worker derives its own seed, no RNG state crosses a
+  process boundary), then merges per-shard throughput, latency
+  samples and counters into one report block.
+
+Correctness story: the server's ``row_exact`` engine makes per-stream
+responses independent of batch composition, so *any* stream→shard
+partition — and any arrival timing — produces candidates bit-identical
+to one single-process server serving all streams.
+``tests/test_shard.py`` pins that property over random partitions and
+interleavings.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from voyager.bench import derive_cell_seed
+from voyager.model import HierarchicalModel
+from voyager.serve import (
+    DEFAULT_QOS,
+    QOS_CLASSES,
+    LatencyReservoir,
+    PrefetchServer,
+    ServeConfig,
+)
+from voyager.traces import MemoryAccess
+from voyager.vocab import Vocab
+
+
+def _hash64(key: str) -> int:
+    """Stable 64-bit hash of a string (blake2b, big-endian)."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Consistent-hash ring mapping stream ids to shard indices.
+
+    ``replicas`` virtual nodes per shard smooth the assignment (the
+    standard deviation of shard load shrinks with ``sqrt(replicas)``);
+    64 keeps a 4-shard pool within a few percent of uniform.  Hashes
+    key off ``repr(stream_id)``, so any hashable id with a stable repr
+    (strings, ints, tuples of those) assigns identically in every
+    process and on every run.
+    """
+
+    def __init__(self, shards: int, replicas: int = 64):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.shards = shards
+        self.replicas = replicas
+        points: List[Tuple[int, int]] = []
+        for shard in range(shards):
+            for vnode in range(replicas):
+                points.append((_hash64(f"shard:{shard}:vnode:{vnode}"), shard))
+        points.sort()
+        self._hashes = [h for h, _ in points]
+        self._owners = [s for _, s in points]
+
+    def shard_for(self, stream_id: Hashable) -> int:
+        """Owning shard: the first vnode clockwise of the stream hash."""
+        h = _hash64(f"stream:{stream_id!r}")
+        i = bisect.bisect_right(self._hashes, h) % len(self._hashes)
+        return self._owners[i]
+
+    def assign(
+        self, stream_ids: Sequence[Hashable]
+    ) -> Dict[int, List[int]]:
+        """Group stream *indices* by owning shard (shards may be empty)."""
+        groups: Dict[int, List[int]] = {s: [] for s in range(self.shards)}
+        for i, stream_id in enumerate(stream_ids):
+            groups[self.shard_for(stream_id)].append(i)
+        return groups
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Pool shape plus the per-shard :class:`ServeConfig` knobs.
+
+    ``max_sessions``/``max_pending`` are *per shard* — a pool of 4
+    shards with ``max_sessions=64`` holds 256 resident sessions.
+    ``spill_dir`` names a root directory; each shard spills under its
+    own ``shard-<k>`` subdirectory, so shards can never collide on a
+    checkpoint file.
+    """
+
+    shards: int = 2
+    replicas: int = 64  # virtual nodes per shard on the hash ring
+    degree: int = 2
+    max_sessions: int = 1024
+    max_pending: int = 1 << 20  # effectively unbounded: shed-free default
+    max_batch: int = 64
+    shed_policy: str = "next_line"
+    spill_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {self.replicas}")
+        if self.spill_dir is not None and not self.spill_dir:
+            raise ValueError("spill_dir must be a non-empty path or None")
+        # Delegate the rest: a bad degree/max_batch/shed_policy fails
+        # here, at configuration time, with ServeConfig's message
+        # instead of inside a worker process.
+        self.serve_config(0)
+
+    def serve_config(self, shard: int, stats_seed: int = 0) -> ServeConfig:
+        """The per-shard server config (own spill subdir, own seed)."""
+        spill = None
+        if self.spill_dir is not None:
+            spill = str(Path(self.spill_dir) / f"shard-{shard}")
+        return ServeConfig(
+            degree=self.degree,
+            max_sessions=self.max_sessions,
+            max_pending=self.max_pending,
+            max_batch=self.max_batch,
+            shed_policy=self.shed_policy,
+            spill_dir=spill,
+            stats_seed=stats_seed,
+        )
+
+
+def drive_open_loop(
+    server: PrefetchServer,
+    stream_ids: Sequence[Hashable],
+    qos: Sequence[str],
+    traces: Sequence[Sequence[MemoryAccess]],
+    arrival_s: np.ndarray,
+    stream_of: np.ndarray,
+    clock=time.perf_counter,
+    sleep=time.sleep,
+) -> Tuple[float, List[List[List[int]]], np.ndarray, Dict[str, Any]]:
+    """Serve one shard's requests at their scheduled arrival times.
+
+    ``arrival_s[j]`` (ascending) says when request ``j`` arrives;
+    ``stream_of[j]`` names the local stream whose next trace access it
+    is.  The loop submits everything due, ticks while work is pending,
+    and only sleeps when the next arrival is comfortably in the future
+    — an open-loop driver, so a slow tick makes the backlog (and the
+    measured queueing latency) grow instead of stalling the workload.
+
+    Returns ``(elapsed_s, per-stream candidates, latency_s, stats)``
+    where ``latency_s[j]`` is completion minus *scheduled arrival* of
+    request ``j`` — queueing included, the honest open-loop number.
+    """
+    for stream_id, stream_qos in zip(stream_ids, qos):
+        server.open_stream(stream_id, qos=stream_qos)
+    n = len(arrival_s)
+    index = {sid: i for i, sid in enumerate(stream_ids)}
+    # Request j is stream i's k-th access; per-stream FIFO responses
+    # mean stream i's k-th response resolves arrival arrival_pos[i][k].
+    arrival_pos: List[List[int]] = [[] for _ in traces]
+    for j in range(n):
+        arrival_pos[int(stream_of[j])].append(j)
+    next_access = [0] * len(traces)
+    served = [0] * len(traces)
+    candidates: List[List[List[int]]] = [[] for _ in traces]
+    latency_s = np.zeros(n, dtype=np.float64)
+    submitted = 0
+    done = 0
+    start = clock()
+    while done < n:
+        now = clock() - start
+        while submitted < n and arrival_s[submitted] <= now:
+            i = int(stream_of[submitted])
+            access = traces[i][next_access[i]]
+            next_access[i] += 1
+            server.submit(stream_ids[i], access.pc, access.address)
+            submitted += 1
+        if server.pending:
+            responses = server.tick()
+            finish = clock() - start
+            for response in responses:
+                i = index[response.stream_id]
+                j = arrival_pos[i][served[i]]
+                served[i] += 1
+                candidates[i].append(response.candidates)
+                latency_s[j] = finish - arrival_s[j]
+                done += 1
+        elif submitted < n:
+            wait = arrival_s[submitted] - (clock() - start)
+            if wait > 0.002:  # spin for near arrivals, sleep for far ones
+                sleep(wait - 0.001)
+    elapsed = clock() - start
+    return elapsed, candidates, latency_s, server.stats.snapshot()
+
+
+def _shard_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Serve one shard's streams; module-level so pools can pickle it."""
+    server = PrefetchServer(
+        payload["model"],
+        payload["pc_vocab"],
+        payload["page_vocab"],
+        payload["serve_config"],
+        dtype=np.dtype(payload["dtype"]).type,
+    )
+    elapsed, candidates, latency_s, stats = drive_open_loop(
+        server,
+        payload["stream_ids"],
+        payload["qos"],
+        payload["traces"],
+        payload["arrival_s"],
+        payload["stream_of"],
+    )
+    requests = int(len(payload["arrival_s"]))
+    return {
+        "elapsed_s": elapsed,
+        "requests": requests,
+        "throughput_per_s": requests / elapsed if elapsed > 0 else 0.0,
+        "candidates": candidates,
+        "latency_s": latency_s,
+        "stats": stats,
+    }
+
+
+def latency_summary(latency_s: np.ndarray) -> Dict[str, float]:
+    """Nearest-rank p50/p95/p99 + exact count/max/mean of a sample."""
+    ordered = sorted(float(v) for v in latency_s)
+    percentile = LatencyReservoir._percentile
+    return {
+        "count": len(ordered),
+        "p50_s": percentile(ordered, 50.0),
+        "p95_s": percentile(ordered, 95.0),
+        "p99_s": percentile(ordered, 99.0),
+        "max_s": ordered[-1] if ordered else 0.0,
+        "mean_s": float(np.mean(ordered)) if ordered else 0.0,
+    }
+
+
+_MERGED_COUNTERS = (
+    "requests",
+    "responses",
+    "neural",
+    "table",
+    "cold",
+    "shed",
+    "orphaned",
+    "opened",
+    "closed",
+    "evicted",
+    "spilled",
+    "restored",
+    "ticks",
+)
+
+
+def run_sharded(
+    model: HierarchicalModel,
+    pc_vocab: Vocab,
+    page_vocab: Vocab,
+    traces: Sequence[Sequence[MemoryAccess]],
+    arrival_s: np.ndarray,
+    stream_of: np.ndarray,
+    config: Optional[ShardConfig] = None,
+    stream_ids: Optional[Sequence[Hashable]] = None,
+    qos: Optional[Sequence[str]] = None,
+    dtype=np.float64,
+    seed: int = 0,
+    inline: Optional[bool] = None,
+) -> Dict[str, Any]:
+    """Partition streams over the ring and serve the open-loop schedule.
+
+    Each shard gets the sub-schedule of its streams (original arrival
+    times — all shards replay the same global clock) and runs
+    :func:`_shard_worker` in its own process; ``inline`` forces
+    in-process execution (defaults to true for 1-shard pools, where a
+    pool buys nothing but fork latency).  Per-shard latency reservoirs
+    are seeded via :func:`~voyager.bench.derive_cell_seed`, so a rerun
+    of the same pool shape reports identical percentiles.
+
+    Returns the aggregate block: wall time, aggregate req/s, merged
+    counters, a shared latency summary over every request, per-shard
+    sub-blocks, and ``candidates`` (per global stream, in submit
+    order) for equality checks against a single-process run.
+    """
+    config = config or ShardConfig()
+    if stream_ids is None:
+        stream_ids = [f"s{i}" for i in range(len(traces))]
+    if qos is None:
+        qos = [DEFAULT_QOS] * len(traces)
+    for stream_qos in qos:
+        if stream_qos not in QOS_CLASSES:
+            raise ValueError(
+                f"qos must be one of {QOS_CLASSES}, got {stream_qos!r}"
+            )
+    if inline is None:
+        inline = config.shards == 1
+    arrival_s = np.asarray(arrival_s, dtype=np.float64)
+    stream_of = np.asarray(stream_of, dtype=np.int64)
+    ring = HashRing(config.shards, config.replicas)
+    groups = ring.assign(stream_ids)
+
+    payloads = []
+    for shard in range(config.shards):
+        members = groups[shard]
+        if not members:
+            continue
+        member_set = set(members)
+        local = {g: li for li, g in enumerate(members)}
+        mask = np.array(
+            [int(s) in member_set for s in stream_of], dtype=bool
+        )
+        payloads.append(
+            (
+                shard,
+                members,
+                {
+                    "model": model,
+                    "pc_vocab": pc_vocab,
+                    "page_vocab": page_vocab,
+                    "serve_config": config.serve_config(
+                        shard, derive_cell_seed(seed, f"shard{shard}")
+                    ),
+                    "dtype": np.dtype(dtype).name,
+                    "stream_ids": [stream_ids[g] for g in members],
+                    "qos": [qos[g] for g in members],
+                    "traces": [traces[g] for g in members],
+                    "arrival_s": arrival_s[mask],
+                    "stream_of": np.array(
+                        [local[int(s)] for s in stream_of[mask]],
+                        dtype=np.int64,
+                    ),
+                },
+            )
+        )
+
+    start = time.perf_counter()
+    if inline:
+        results = [(shard, members, _shard_worker(payload))
+                   for shard, members, payload in payloads]
+    else:
+        with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
+            futures = [
+                (shard, members, pool.submit(_shard_worker, payload))
+                for shard, members, payload in payloads
+            ]
+            results = [
+                (shard, members, future.result())
+                for shard, members, future in futures
+            ]
+    wall_s = time.perf_counter() - start
+
+    total_requests = int(len(arrival_s))
+    candidates: List[List[List[int]]] = [[] for _ in traces]
+    all_latencies: List[np.ndarray] = []
+    counters = {key: 0 for key in _MERGED_COUNTERS}
+    shed_by_class = {cls: 0 for cls in QOS_CLASSES}
+    per_shard = []
+    for shard, members, result in results:
+        for li, g in enumerate(members):
+            candidates[g] = result["candidates"][li]
+        all_latencies.append(result["latency_s"])
+        for key in _MERGED_COUNTERS:
+            counters[key] += int(result["stats"].get(key, 0))
+        for cls, count in result["stats"].get("shed_by_class", {}).items():
+            shed_by_class[cls] = shed_by_class.get(cls, 0) + int(count)
+        per_shard.append(
+            {
+                "shard": shard,
+                "streams": len(members),
+                "requests": result["requests"],
+                "elapsed_s": result["elapsed_s"],
+                "throughput_per_s": result["throughput_per_s"],
+                "latency": latency_summary(result["latency_s"]),
+            }
+        )
+    merged = (
+        np.concatenate(all_latencies)
+        if all_latencies
+        else np.zeros(0, dtype=np.float64)
+    )
+    counters["shed_by_class"] = shed_by_class
+    return {
+        "shards": config.shards,
+        "inline": bool(inline),
+        "wall_s": wall_s,
+        "requests": total_requests,
+        "aggregate_throughput_per_s": (
+            total_requests / wall_s if wall_s > 0 else 0.0
+        ),
+        "latency": latency_summary(merged),
+        "counters": counters,
+        "per_shard": per_shard,
+        "candidates": candidates,  # popped before serialisation
+    }
+
+
+__all__ = [
+    "HashRing",
+    "ShardConfig",
+    "drive_open_loop",
+    "latency_summary",
+    "run_sharded",
+]

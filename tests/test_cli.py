@@ -518,3 +518,16 @@ def test_simulate_corrupt_table_file_is_clean_error(
     )
     assert rc == 1
     assert "error:" in capsys.readouterr().err
+
+
+def test_workloads_json_listing(capsys):
+    assert main(["workloads", "--json"]) == 0
+    listing = json.loads(capsys.readouterr().out)
+    assert isinstance(listing, list)
+    names = {entry["name"] for entry in listing}
+    assert {"stride", "page_cycle", "random_walk"} <= names
+    assert all(entry["description"] for entry in listing)
+    # the human listing still works and covers the same registry
+    assert main(["workloads"]) == 0
+    human = capsys.readouterr().out
+    assert all(name in human for name in names)

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from voyager.ioutil import _atomic_write, atomic_savez, atomic_write_text
+from voyager.ioutil import (
+    _atomic_write,
+    atomic_savez,
+    atomic_write_text,
+    round_floats,
+)
 
 
 def test_atomic_write_text_creates_and_replaces(tmp_path):
@@ -38,3 +43,26 @@ def test_failed_write_leaves_original_intact(tmp_path):
         _atomic_write(path, explode, mode="w", encoding="utf-8")
     assert path.read_text() == "original"
     assert [p.name for p in tmp_path.iterdir()] == ["report.json"]
+
+
+def test_round_floats_recurses_and_preserves_structure():
+    value = {
+        "a": 0.123456789,
+        "b": [1.9999999999, {"c": (0.1 + 0.2,)}],
+        "d": "text",
+        "e": 7,
+        "f": None,
+        "g": True,
+    }
+    rounded = round_floats(value)
+    assert rounded["a"] == 0.123457
+    assert rounded["b"][0] == 2.0
+    assert rounded["b"][1]["c"] == [0.3]  # tuples become JSON-safe lists
+    # non-floats pass through untouched (bools are not floats)
+    assert rounded["d"] == "text"
+    assert rounded["e"] == 7
+    assert rounded["f"] is None
+    assert rounded["g"] is True
+    # the input is not mutated
+    assert value["a"] == 0.123456789
+    assert round_floats(0.123456789, digits=2) == 0.12

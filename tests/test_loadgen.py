@@ -17,10 +17,14 @@ from voyager.bench import (
     write_bench,
 )
 from voyager.loadgen import (
+    ArrivalConfig,
     LoadGenConfig,
     attach_serving,
     mixed_training_trace,
+    open_loop_schedule,
+    parse_qos_mix,
     run_loadgen,
+    run_open_loop_bench,
     serve_trace,
     stream_traces,
 )
@@ -103,7 +107,9 @@ def test_validate_serving_flags_problems(serving):
     missing = json.loads(json.dumps(serving))
     del missing["speedup_vs_serial"]
     assert any("speedup_vs_serial" in p for p in validate_serving(missing))
-    assert any("streams" in p for p in validate_serving({}))
+    assert validate_serving({}) == [
+        "serving: neither closed-loop keys nor open_loop present"
+    ]
 
 
 def test_attach_serving_creates_skeleton(serving, tmp_path):
@@ -218,3 +224,168 @@ def test_float32_run_also_matches_serial():
     )
     assert serving["dtype"] == "float32"
     assert serving["responses_equal_serial"] is True
+
+
+# ----------------------------------------------------------------------
+# open-loop arrivals, QoS mixes, and the sharded bench section
+# ----------------------------------------------------------------------
+def test_arrival_config_validation():
+    with pytest.raises(ValueError, match="process"):
+        ArrivalConfig(process="uniform")
+    with pytest.raises(ValueError, match="rate"):
+        ArrivalConfig(rate=0.0)
+    with pytest.raises(ValueError, match="on_s"):
+        ArrivalConfig(process="onoff", on_s=0.0)
+    with pytest.raises(ValueError, match="off_s"):
+        ArrivalConfig(process="onoff", off_s=-1.0)
+
+
+@pytest.mark.parametrize("process", ["poisson", "onoff"])
+def test_open_loop_schedule_is_sorted_seeded_and_complete(process):
+    config = LoadGenConfig(streams=5, accesses_per_stream=50)
+    arrival = ArrivalConfig(process=process, rate=10_000.0)
+    schedule = open_loop_schedule(config, arrival, seed=3)
+    assert schedule.requests == 250
+    assert np.all(np.diff(schedule.arrival_s) >= 0)
+    assert np.all(schedule.arrival_s > 0)
+    # every stream contributes exactly its accesses_per_stream
+    counts = np.bincount(schedule.stream_of, minlength=5)
+    assert counts.tolist() == [50] * 5
+    again = open_loop_schedule(config, arrival, seed=3)
+    np.testing.assert_array_equal(schedule.arrival_s, again.arrival_s)
+    np.testing.assert_array_equal(schedule.stream_of, again.stream_of)
+    other = open_loop_schedule(config, arrival, seed=4)
+    assert not np.array_equal(schedule.arrival_s, other.arrival_s)
+
+
+def test_onoff_schedule_is_burstier_than_poisson():
+    """ON-OFF gaps show higher dispersion than Poisson at equal rate."""
+    config = LoadGenConfig(streams=1, accesses_per_stream=2000)
+    poisson = open_loop_schedule(
+        config, ArrivalConfig(process="poisson", rate=1000.0), seed=0
+    )
+    onoff = open_loop_schedule(
+        config,
+        ArrivalConfig(process="onoff", rate=1000.0, on_s=0.01, off_s=0.09),
+        seed=0,
+    )
+    gap_cv = lambda s: (  # noqa: E731 - tiny local helper
+        np.std(np.diff(s.arrival_s)) / np.mean(np.diff(s.arrival_s))
+    )
+    assert gap_cv(onoff) > 1.5 * gap_cv(poisson)
+
+
+def test_parse_qos_mix():
+    assert parse_qos_mix(None, 3) == ["throughput"] * 3
+    assert parse_qos_mix("latency=1,besteffort=2", 5) == [
+        "latency", "besteffort", "besteffort", "latency", "besteffort",
+    ]
+    assert parse_qos_mix("latency", 2) == ["latency", "latency"]
+    with pytest.raises(ValueError, match="qos class"):
+        parse_qos_mix("platinum=1", 2)
+    with pytest.raises(ValueError, match="weight"):
+        parse_qos_mix("latency=0", 2)
+    with pytest.raises(ValueError, match="weight"):
+        parse_qos_mix("latency=x", 2)
+
+
+@pytest.fixture(scope="module")
+def open_loop_section():
+    return run_open_loop_bench(
+        TINY,
+        LoadGenConfig(streams=4, accesses_per_stream=25),
+        ArrivalConfig(process="poisson", rate=20_000.0),
+        shard_counts=(1, 2),
+        seed=0,
+        overload=True,
+    )
+
+
+def test_open_loop_section_shape_and_equality(open_loop_section):
+    section = open_loop_section
+    assert validate_serving({"open_loop": section}) == []
+    assert section["responses_equal_single"] is True
+    assert section["requests"] == 100
+    assert [run["shards"] for run in section["runs"]] == [1, 2]
+    for run in section["runs"]:
+        assert run["aggregate_throughput_per_s"] > 0
+        assert run["counters"]["responses"] == 100
+        assert run["counters"]["shed"] == 0  # shed-free defaults
+        latency = run["latency"]
+        assert latency["count"] == 100
+        assert latency["p50_s"] <= latency["p95_s"] <= latency["p99_s"]
+        assert latency["p99_s"] <= latency["max_s"]
+    assert section["runs"][0]["scaling_vs_single"] == 1.0
+
+
+def test_open_loop_overload_sheds_by_qos_priority(open_loop_section):
+    overload = open_loop_section["overload"]
+    assert overload["shed"] > 0
+    rates = overload["shed_rate_by_class"]
+    # Preemptive shedding: the better the class, the lower its shed rate.
+    assert rates["latency"] <= rates["throughput"] <= rates["besteffort"]
+    assert rates["besteffort"] > 0
+
+
+def test_open_loop_validation_flags_problems(open_loop_section):
+    section = json.loads(json.dumps(open_loop_section))
+    section["responses_equal_single"] = False
+    problems = validate_serving({"open_loop": section})
+    assert any("responses_equal_single" in p for p in problems)
+    broken = json.loads(json.dumps(open_loop_section))
+    del broken["runs"][0]["counters"]["spilled"]
+    problems = validate_serving({"open_loop": broken})
+    assert any("spilled" in p for p in problems)
+
+
+def test_attach_serving_merges_open_loop_and_closed_loop(
+    serving, open_loop_section, tmp_path
+):
+    out = tmp_path / "BENCH_voyager.json"
+    attach_serving(serving, out)
+    attach_serving({"open_loop": open_loop_section}, out)
+    merged = load_report(out)["serving"]
+    # both halves coexist: the open-loop attach kept the closed-loop keys
+    assert merged["streams"] == 3
+    assert merged["speedup_vs_serial"] > 0
+    assert merged["open_loop"]["requests"] == 100
+    assert validate_serving(merged) == []
+    # floats in the open-loop block were rounded at serialisation
+    wall = merged["open_loop"]["runs"][0]["wall_s"]
+    assert wall == round(wall, 6)
+
+
+def test_open_loop_cli_runs_gates_and_fails_cleanly(
+    tmp_path, capsys, monkeypatch
+):
+    import voyager.bench as bench_mod
+    import voyager.loadgen as loadgen_mod
+
+    monkeypatch.setattr(bench_mod, "SMOKE_PROFILE", TINY)
+    out = tmp_path / "BENCH_voyager.json"
+    base = [
+        "--profile", "smoke", "--open-loop",
+        "--shards", "2", "--streams", "4", "--accesses", "25",
+        "--rate", "20000", "--out", str(out),
+    ]
+    rc = loadgen_mod.main(base + ["--max-p99-ms", "1e9"])
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "shards=2" in captured.out
+    assert "p99=" in captured.out
+    loaded = json.loads(out.read_text())
+    assert validate_serving(loaded["serving"]) == []
+    assert loaded["serving"]["open_loop"]["runs"][-1]["shards"] == 2
+
+    rc = loadgen_mod.main(
+        base + ["--max-p99-ms", "1e-9", "--min-throughput", "1e18"]
+    )
+    assert rc == 1
+    err = capsys.readouterr().err
+    assert "above --max-p99-ms" in err
+    assert "below --min-throughput" in err
+
+    # config errors exit 1 with a clean message, not a traceback
+    rc = loadgen_mod.main(base + ["--qos-mix", "platinum=1"])
+    assert rc == 1
+    assert "qos class" in capsys.readouterr().err

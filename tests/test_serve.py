@@ -21,15 +21,18 @@ from voyager.infer import InferenceEngine
 from voyager.model import HierarchicalModel, ModelConfig
 from voyager.distill import DistillConfig, DistilledTable
 from voyager.serve import (
+    QOS_CLASSES,
     SOURCE_COLD,
     SOURCE_NEURAL,
     SOURCE_ORPHANED,
     SOURCE_SHED,
     SOURCE_TABLE,
+    LatencyReservoir,
     PrefetchResponse,
     PrefetchServer,
     ServeConfig,
     ServerStats,
+    SpillStore,
 )
 from voyager.sim import decode_block_candidates, page_id_table
 from voyager.traces import NUM_OFFSETS, MemoryAccess, join_address
@@ -536,8 +539,14 @@ def test_empty_server_stats_are_all_zero_and_json_safe():
     assert json.loads(json.dumps(snapshot)) == snapshot
     assert snapshot["batch_size_hist"] == {}
     assert snapshot["latency"] == {
-        "count": 0, "p50_s": 0.0, "p95_s": 0.0, "max_s": 0.0, "mean_s": 0.0,
+        "count": 0, "p50_s": 0.0, "p95_s": 0.0, "p99_s": 0.0,
+        "max_s": 0.0, "mean_s": 0.0,
     }
+    assert snapshot["shed_by_class"] == {
+        "latency": 0, "throughput": 0, "besteffort": 0,
+    }
+    assert snapshot["spilled"] == 0
+    assert snapshot["restored"] == 0
 
 
 def test_single_tick_histogram_and_percentiles():
@@ -574,6 +583,7 @@ def test_eviction_mid_flight_counts_orphans_in_histogram():
 
 
 def test_latency_samples_are_bounded():
+    """The reservoir caps memory but count/max/mean stay exact."""
     stats = ServerStats(max_latency_samples=4)
     for i in range(10):
         stats.observe_response(
@@ -583,5 +593,288 @@ def test_latency_samples_are_bounded():
             )
         )
     result = stats.latency_percentiles()
-    assert result["count"] == 4
-    assert result["p50_s"] == 7.0  # only the last four samples survive
+    assert result["count"] == 10  # exact total, not the sample size
+    assert result["max_s"] == 9.0  # exact, even if 9.0 left the sample
+    assert result["mean_s"] == pytest.approx(4.5)
+    assert len(stats._reservoir.samples) == 4
+    assert all(0.0 <= v <= 9.0 for v in stats._reservoir.samples)
+
+
+def test_latency_reservoir_is_seeded_and_deterministic():
+    """Two reservoirs with the same seed hold identical samples."""
+    a = LatencyReservoir(capacity=8, seed=7)
+    b = LatencyReservoir(capacity=8, seed=7)
+    c = LatencyReservoir(capacity=8, seed=8)
+    values = [float(i) * 0.25 for i in range(200)]
+    for v in values:
+        a.add(v)
+        b.add(v)
+        c.add(v)
+    assert a.samples == b.samples
+    assert a.samples != c.samples  # different seed, different draw
+    assert a.summary() == b.summary()
+
+
+def test_latency_reservoir_percentile_bias_bound():
+    """Reservoir p95 of a long uniform stream lands near the truth.
+
+    20k observations through a 512-slot reservoir: the held sample is
+    a uniform draw over the whole stream (Algorithm R), so the
+    nearest-rank p95/p50 estimates must fall within a few percent of
+    the exact percentiles — the bound that a tail-truncating window
+    (which would report the p95 of only the most recent slice) cannot
+    meet under drift.
+    """
+    reservoir = LatencyReservoir(capacity=512, seed=3)
+    n = 20000
+    # Drifting stream: values grow over time, so a recency-biased
+    # window would overestimate every percentile badly.
+    values = [i / n for i in range(n)]
+    for v in values:
+        reservoir.add(v)
+    summary = reservoir.summary()
+    assert summary["count"] == n
+    assert abs(summary["p50_s"] - 0.50) < 0.05
+    assert abs(summary["p95_s"] - 0.95) < 0.05
+    assert abs(summary["p99_s"] - 0.99) < 0.05
+    assert summary["max_s"] == values[-1]
+
+
+def test_latency_reservoir_rejects_bad_capacity():
+    with pytest.raises(ValueError, match="capacity"):
+        LatencyReservoir(capacity=0)
+
+
+# ----------------------------------------------------------------------
+# QoS classes: preemptive shedding order and priority admission
+# ----------------------------------------------------------------------
+def test_qos_preemption_sheds_besteffort_before_throughput():
+    """A latency request preempts the oldest strictly-lower-class one."""
+    model, pc_vocab, page_vocab = serving_setup()
+    server = PrefetchServer(
+        model, pc_vocab, page_vocab, ServeConfig(max_pending=2)
+    )
+    server.open_stream("be", qos="besteffort")
+    server.open_stream("tp", qos="throughput")
+    server.open_stream("lat", qos="latency")
+    rng = np.random.default_rng(31)
+    a1, a2, a3 = (random_access(rng) for _ in range(3))
+    seq_be = server.submit("be", a1.pc, a1.address)
+    seq_tp = server.submit("tp", a2.pc, a2.address)
+    # Backlog at max_pending=2: the arriving latency request preempts
+    # the besteffort one (worst class first), not the throughput one.
+    seq_lat = server.submit("lat", a3.pc, a3.address)
+    by_seq = {r.seq: r for r in server.tick()}
+    assert by_seq[seq_be].source == SOURCE_SHED
+    assert by_seq[seq_tp].source != SOURCE_SHED
+    assert by_seq[seq_lat].source != SOURCE_SHED
+    assert server.stats.shed_by_class == {
+        "latency": 0, "throughput": 0, "besteffort": 1,
+    }
+    assert by_seq[seq_be].qos == "besteffort"
+    assert by_seq[seq_lat].qos == "latency"
+
+
+def test_qos_same_class_overload_sheds_the_arrival():
+    """With no lower class queued, the arriving request sheds itself."""
+    model, pc_vocab, page_vocab = serving_setup()
+    server = PrefetchServer(
+        model, pc_vocab, page_vocab, ServeConfig(max_pending=1)
+    )
+    server.open_stream("a", qos="latency")
+    rng = np.random.default_rng(32)
+    a1, a2 = random_access(rng), random_access(rng)
+    seq1 = server.submit("a", a1.pc, a1.address)
+    seq2 = server.submit("a", a2.pc, a2.address)
+    by_seq = {r.seq: r for r in server.tick()}
+    assert by_seq[seq1].source != SOURCE_SHED
+    assert by_seq[seq2].source == SOURCE_SHED
+    assert server.stats.shed_by_class["latency"] == 1
+
+
+def test_qos_lower_class_cannot_preempt_higher():
+    model, pc_vocab, page_vocab = serving_setup()
+    server = PrefetchServer(
+        model, pc_vocab, page_vocab, ServeConfig(max_pending=1)
+    )
+    server.open_stream("lat", qos="latency")
+    server.open_stream("be", qos="besteffort")
+    rng = np.random.default_rng(33)
+    a1, a2 = random_access(rng), random_access(rng)
+    seq_lat = server.submit("lat", a1.pc, a1.address)
+    seq_be = server.submit("be", a2.pc, a2.address)
+    by_seq = {r.seq: r for r in server.tick()}
+    assert by_seq[seq_lat].source != SOURCE_SHED
+    assert by_seq[seq_be].source == SOURCE_SHED
+
+
+def test_qos_per_request_override_beats_stream_default():
+    """submit(qos=...) overrides the stream's class for that request."""
+    model, pc_vocab, page_vocab = serving_setup()
+    server = PrefetchServer(
+        model, pc_vocab, page_vocab, ServeConfig(max_pending=1)
+    )
+    server.open_stream("a", qos="besteffort")
+    server.open_stream("b", qos="besteffort")
+    rng = np.random.default_rng(34)
+    a1, a2 = random_access(rng), random_access(rng)
+    seq1 = server.submit("a", a1.pc, a1.address)  # besteffort, admitted
+    seq2 = server.submit("b", a2.pc, a2.address, qos="latency")
+    by_seq = {r.seq: r for r in server.tick()}
+    assert by_seq[seq1].source == SOURCE_SHED  # preempted by override
+    assert by_seq[seq2].source != SOURCE_SHED
+    assert by_seq[seq2].qos == "latency"
+
+
+def test_qos_validation_rejects_unknown_class():
+    model, pc_vocab, page_vocab = serving_setup()
+    server = PrefetchServer(model, pc_vocab, page_vocab)
+    with pytest.raises(ValueError, match="qos"):
+        server.open_stream("a", qos="platinum")
+    server.open_stream("a")
+    with pytest.raises(ValueError, match="qos"):
+        server.submit("a", PCS[0], 0, qos="platinum")
+    assert list(QOS_CLASSES) == ["latency", "throughput", "besteffort"]
+
+
+def test_qos_priority_batch_admission_over_max_batch():
+    """Backlog > max_batch: latency-class requests are admitted first,
+    but per-stream submit order is never split."""
+    model, pc_vocab, page_vocab = serving_setup()
+    server = PrefetchServer(
+        model, pc_vocab, page_vocab,
+        ServeConfig(max_batch=2, max_pending=64),
+    )
+    server.open_stream("be", qos="besteffort")
+    server.open_stream("lat", qos="latency")
+    rng = np.random.default_rng(35)
+    seqs = []
+    for _ in range(3):
+        a = random_access(rng)
+        seqs.append(server.submit("be", a.pc, a.address))
+    a = random_access(rng)
+    lat_seq = server.submit("lat", a.pc, a.address)
+    first = server.tick()
+    # The latency request jumps the three older besteffort ones; the
+    # leftover slot goes to the oldest besteffort request (FIFO).
+    assert sorted(r.seq for r in first) == sorted([lat_seq, seqs[0]])
+    rest = server.tick()
+    assert [r.seq for r in rest] == seqs[1:]
+
+
+# ----------------------------------------------------------------------
+# Evicted-session checkpoint/restore (spill store)
+# ----------------------------------------------------------------------
+def drive_interleaved(server, plan, rng_seed=40):
+    """Drive (stream, access) pairs serially; returns responses."""
+    rng = np.random.default_rng(rng_seed)
+    out = []
+    for stream_id in plan:
+        access = random_access(rng)
+        out.append(server.access(stream_id, access.pc, access.address))
+    return out
+
+
+def test_spill_restore_is_bit_identical_to_never_evicted(tmp_path):
+    """Sessions bounced through the spill store serve the exact
+    candidates (and recurrent state) of a server that never evicts."""
+    model, pc_vocab, page_vocab = serving_setup()
+    spilling = PrefetchServer(
+        model, pc_vocab, page_vocab,
+        ServeConfig(max_sessions=1, spill_dir=str(tmp_path / "spill")),
+    )
+    roomy = PrefetchServer(
+        model, pc_vocab, page_vocab, ServeConfig(max_sessions=64)
+    )
+    plan = ["a", "b", "a", "a", "b", "a", "b", "b", "a", "b"] * 2
+    for server in (spilling, roomy):
+        server.open_stream("a")
+        server.open_stream("b")
+    got = drive_interleaved(spilling, plan)
+    want = drive_interleaved(roomy, plan)
+    assert [r.candidates for r in got] == [r.candidates for r in want]
+    assert [r.source for r in got] == [r.source for r in want]
+    assert spilling.stats.spilled > 0
+    assert spilling.stats.restored > 0
+    assert spilling.stats.orphaned == 0
+    for sid in ("a", "b"):
+        # Touch both so each is resident on the spilling server.
+        access = random_access(np.random.default_rng(41))
+        spilling.access(sid, access.pc, access.address)
+        roomy.access(sid, access.pc, access.address)
+        a_state = spilling.session_state(sid)
+        b_state = roomy.session_state(sid)
+        assert np.array_equal(a_state.h, b_state.h)
+        assert np.array_equal(a_state.c, b_state.c)
+
+
+def test_spill_mode_never_orphans_in_flight_requests(tmp_path):
+    """Eviction defers past sessions with queued requests (soft cap)."""
+    model, pc_vocab, page_vocab = serving_setup()
+    server = PrefetchServer(
+        model, pc_vocab, page_vocab,
+        ServeConfig(max_sessions=1, spill_dir=str(tmp_path / "spill")),
+    )
+    server.open_stream("a")
+    access = random_access(np.random.default_rng(42))
+    server.submit("a", access.pc, access.address)
+    server.open_stream("b")  # would evict "a", but it has work in flight
+    assert set(server.open_streams) == {"a", "b"}  # soft cap exceeded
+    responses = server.tick()
+    assert [r.source for r in responses] != [SOURCE_ORPHANED]
+    assert server.stats.orphaned == 0
+    # End-of-tick trim brought the table back under max_sessions.
+    assert len(server.open_streams) == 1
+    assert server.stats.spilled == 1
+
+
+def test_close_stream_discards_spilled_checkpoint(tmp_path):
+    model, pc_vocab, page_vocab = serving_setup()
+    server = PrefetchServer(
+        model, pc_vocab, page_vocab,
+        ServeConfig(max_sessions=1, spill_dir=str(tmp_path / "spill")),
+    )
+    server.open_stream("a")
+    server.open_stream("b")  # spills "a"
+    assert server.stats.spilled == 1
+    server.close_stream("a")  # discards the checkpoint
+    with pytest.raises(KeyError):
+        server.submit("a", PCS[0], 0)  # gone for good
+    with pytest.raises(KeyError):
+        server.close_stream("nope")
+
+
+def test_spill_store_roundtrips_any_hashable_stream_id(tmp_path):
+    model, pc_vocab, page_vocab = serving_setup()
+    engine = InferenceEngine(model, row_exact=True)
+    store = SpillStore(tmp_path / "spill")
+    from voyager.serve import StreamSession
+
+    session = StreamSession(("tenant", 7), engine, ctx_depth=2,
+                            qos="latency")
+    session.pc_ids.append(3)
+    session.feats.append(np.arange(9, dtype=np.float64))
+    session.ctx.append((1, 2, 3))
+    session.accesses = 5
+    store.save(session)
+    assert ("tenant", 7) in store
+    back = store.load(("tenant", 7), engine)
+    assert back.qos == "latency"
+    assert back.accesses == 5
+    assert list(back.pc_ids) == [3]
+    assert np.array_equal(back.feats[0], session.feats[0])
+    assert list(back.ctx) == [(1, 2, 3)]
+    assert np.array_equal(back.state.h, session.state.h)
+    assert store.discard(("tenant", 7))
+    assert not store.discard(("tenant", 7))
+
+
+def test_spill_store_rejects_non_directory_root(tmp_path):
+    bogus = tmp_path / "file"
+    bogus.write_text("not a dir")
+    with pytest.raises(ValueError, match="spill_dir"):
+        SpillStore(bogus)
+    with pytest.raises(ValueError, match="spill_dir"):
+        ServeConfig(spill_dir="   ")
+    with pytest.raises(ValueError, match="stats_seed"):
+        ServeConfig(stats_seed=-1)
