@@ -17,8 +17,16 @@ Prefetching" (Shi et al., ASPLOS 2021).  The package is layered:
 - serving layer: :mod:`voyager.serve` (multi-stream online sessions
   with cross-stream micro-batching), :mod:`voyager.loadgen`
   (multi-stream load generator -> ``serving`` bench section)
+- adaptation layer: :mod:`voyager.adapt` (served-traffic logging,
+  background fine-tuning, live checkpoint hot-swap)
 """
 
+from voyager.adapt import (
+    AccessLogger,
+    AdaptationLoop,
+    load_and_swap,
+    run_adaptation_bench,
+)
 from voyager.baselines import NextLinePrefetcher, StridePrefetcher
 from voyager.infer import InferenceEngine, LSTMState
 from voyager.ingest import (
@@ -69,6 +77,8 @@ __all__ = [
     "NUM_OFFSETS",
     "REGISTRY",
     "WORKLOADS",
+    "AccessLogger",
+    "AdaptationLoop",
     "ArrayCache",
     "CacheConfig",
     "ExternalRecord",
@@ -94,11 +104,13 @@ __all__ = [
     "WorkloadSpec",
     "generate",
     "join_address",
+    "load_and_swap",
     "load_checkpoint",
     "make_labels",
     "parse_trace",
     "parse_trace_line",
     "read_trace",
+    "run_adaptation_bench",
     "save_checkpoint",
     "simulate",
     "split_address",

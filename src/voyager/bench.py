@@ -94,7 +94,13 @@ from voyager.train import build_dataset, build_sequence_dataset, train
 #: shed/evicted/spilled/restored counters, ``responses_equal_single``,
 #: optional ``overload`` QoS-shedding histogram); the closed-loop keys
 #: are unchanged and now optional when the open-loop block is present.
-BENCH_SCHEMA_VERSION = 6
+#: v7: the ``serving`` section gains an ``adaptation`` block
+#: (:func:`voyager.adapt.run_adaptation_bench`): per regime-shifting
+#: workload, frozen-vs-adapted serving coverage around each
+#: ground-truth phase boundary, the adaptation lag in accesses, and
+#: fine-tune/hot-swap counters; any one of the three serving blocks
+#: (closed-loop, ``open_loop``, ``adaptation``) satisfies the section.
+BENCH_SCHEMA_VERSION = 7
 
 #: Canonical report filename at the repo root.
 BENCH_FILENAME = "BENCH_voyager.json"
@@ -692,12 +698,16 @@ def validate_serving(serving: Any) -> List[str]:
         return ["serving: expected a dict"]
     problems: List[str] = []
     has_open_loop = "open_loop" in serving
+    has_adaptation = "adaptation" in serving
     has_closed_loop = any(
         key in serving
         for key in ("throughput_accesses_per_s", "speedup_vs_serial")
     )
-    if not has_open_loop and not has_closed_loop:
-        return ["serving: neither closed-loop keys nor open_loop present"]
+    if not has_open_loop and not has_closed_loop and not has_adaptation:
+        return [
+            "serving: none of closed-loop keys, open_loop or "
+            "adaptation present"
+        ]
     if has_closed_loop:
         if (
             not isinstance(serving.get("streams"), int)
@@ -712,6 +722,59 @@ def validate_serving(serving: Any) -> List[str]:
             problems.append("serving: responses_equal_serial is not true")
     if has_open_loop:
         problems += _validate_open_loop(serving["open_loop"])
+    if has_adaptation:
+        problems += _validate_adaptation(serving["adaptation"])
+    return problems
+
+
+def _validate_adaptation(section: Any) -> List[str]:
+    """Shape-check the serving section's ``adaptation`` block (v7).
+
+    Produced by :func:`voyager.adapt.run_adaptation_bench`; only the
+    cross-PR contract is pinned here: per-workload frozen/adapted
+    coverage, per-boundary phase records with a gain and a lag, and the
+    loop counters the CI gates read.
+    """
+    if not isinstance(section, dict):
+        return ["adaptation: expected a dict"]
+    problems: List[str] = []
+    if not isinstance(section.get("config"), dict):
+        problems.append("adaptation: missing config")
+    workloads = section.get("workloads")
+    if not isinstance(workloads, dict) or not workloads:
+        problems.append("adaptation: missing workload runs")
+        return problems
+    for name, run in workloads.items():
+        label = f"adaptation/{name}"
+        if not isinstance(run, dict):
+            problems.append(f"{label}: run entry is not a dict")
+            continue
+        for key in ("frozen_coverage", "adapted_coverage", "mean_gain"):
+            if not isinstance(run.get(key), (int, float)):
+                problems.append(f"{label}: missing {key}")
+        for key in ("rounds", "swaps", "model_version", "max_lag_accesses"):
+            if not isinstance(run.get(key), int):
+                problems.append(f"{label}: missing {key}")
+        bounds = run.get("boundaries")
+        if not isinstance(bounds, list) or len(bounds) < 2:
+            problems.append(f"{label}: missing boundaries")
+        phases = run.get("phases")
+        if not isinstance(phases, list):
+            problems.append(f"{label}: missing phases")
+            continue
+        for phase in phases:
+            if not isinstance(phase, dict):
+                problems.append(f"{label}: phase entry is not a dict")
+                continue
+            for key in (
+                "boundary",
+                "frozen_tail",
+                "adapted_tail",
+                "gain",
+                "lag_accesses",
+            ):
+                if not isinstance(phase.get(key), (int, float)):
+                    problems.append(f"{label}: phase missing {key}")
     return problems
 
 

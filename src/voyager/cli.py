@@ -27,7 +27,17 @@ Subcommands:
   ``python -m voyager bench --smoke``
 - ``serve`` — serve a trace as interleaved streams through the online
   serving layer (micro-batched), printing throughput and latency:
-  ``python -m voyager serve --trace trace.txt --checkpoint ckpt/model``
+  ``python -m voyager serve --trace trace.txt --checkpoint ckpt/model``.
+  With ``--adapt LOGDIR`` the server also logs served traffic, and
+  every ``--adapt-every`` rounds fine-tunes on the closed log segments
+  and hot-swaps the new checkpoint into the live server
+- ``adapt`` — the serve->train->serve loop offline: watch a segment
+  log directory, fine-tune from a base checkpoint, emit versioned
+  checkpoints (``python -m voyager adapt --checkpoint ckpt/model
+  --log-dir logs --out-dir ckpts``); or with ``--bench`` run the
+  adaptation-lag evaluation over regime-shifting workloads, merge the
+  ``serving.adaptation`` block into ``BENCH_voyager.json`` and gate
+  ``--min-adapted-coverage-gain`` / ``--max-adapt-lag``
 - ``serve-bench`` — benchmark the serving layer under synthetic
   multi-stream load and merge a ``serving`` section into the bench
   report: ``python -m voyager serve-bench --profile smoke --streams 8``.
@@ -46,11 +56,20 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 import numpy as np
 
 from voyager import synthetic
+from voyager.adapt import (
+    AccessLogger,
+    AdaptBenchConfig,
+    AdaptationLoop,
+    check_adaptation_budget,
+    load_and_swap,
+    run_adaptation_bench,
+)
 from voyager.baselines import (
     NextLinePrefetcher,
     StridePrefetcher,
@@ -82,7 +101,12 @@ from voyager.distill import (
 from voyager.eval import evaluate, simulate_model
 from voyager.ingest import ON_ERROR_POLICIES, IngestFormat, read_trace
 from voyager.labeling import LabelConfig
-from voyager.loadgen import add_serve_bench_args, run_serve_bench, serve_trace
+from voyager.loadgen import (
+    add_serve_bench_args,
+    attach_serving,
+    run_serve_bench,
+    serve_trace,
+)
 from voyager.model import (
     HierarchicalModel,
     ModelConfig,
@@ -419,6 +443,145 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--dtype", choices=("float64", "float32"), default="float64"
     )
+    serve.add_argument(
+        "--adapt",
+        metavar="LOGDIR",
+        default=None,
+        help="log served traffic to LOGDIR and run the in-process "
+        "fine-tune + hot-swap loop while serving",
+    )
+    serve.add_argument(
+        "--adapt-every",
+        type=int,
+        default=64,
+        help="serving rounds between log rotation + fine-tune polls "
+        "(also the segment size in records per stream round; "
+        "default: 64)",
+    )
+    serve.add_argument(
+        "--adapt-steps",
+        type=int,
+        default=60,
+        help="optimizer steps per fine-tune round (default: 60)",
+    )
+    serve.add_argument(
+        "--replay-mix",
+        type=float,
+        default=0.25,
+        help="fraction of already-consumed segments replayed per "
+        "fine-tune (default: 0.25)",
+    )
+    serve.add_argument(
+        "--adapt-out",
+        default=None,
+        help="versioned checkpoint output dir (default: LOGDIR/ckpts)",
+    )
+    serve.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="adaptation-loop seed (replay sampling + fine-tune)",
+    )
+
+    adapt = sub.add_parser(
+        "adapt",
+        help="fine-tune on logged traffic (offline loop) or run the "
+        "adaptation-lag bench (--bench)",
+    )
+    adapt.add_argument(
+        "--bench",
+        action="store_true",
+        help="run the frozen-vs-adapted serving evaluation over "
+        "regime-shifting workloads and merge the serving.adaptation "
+        "block into the bench report",
+    )
+    adapt.add_argument(
+        "--checkpoint",
+        default=None,
+        help="base checkpoint prefix (required without --bench)",
+    )
+    adapt.add_argument(
+        "--log-dir",
+        default=None,
+        help="segment log directory to watch (required without --bench)",
+    )
+    adapt.add_argument(
+        "--out-dir",
+        default=None,
+        help="versioned checkpoint output dir (required without --bench)",
+    )
+    adapt.add_argument(
+        "--rounds",
+        type=int,
+        default=1,
+        help="poll rounds to run; each consumes the new closed "
+        "segments and emits one checkpoint (default: 1)",
+    )
+    adapt.add_argument("--steps", type=int, default=60)
+    adapt.add_argument("--batch-size", type=int, default=16)
+    adapt.add_argument("--lr", type=float, default=0.04)
+    adapt.add_argument("--seq-len", type=int, default=32)
+    adapt.add_argument("--tbptt", type=int, default=8)
+    adapt.add_argument(
+        "--lr-schedule", choices=("constant", "cosine"), default="cosine"
+    )
+    adapt.add_argument(
+        "--replay-mix",
+        type=float,
+        default=0.25,
+        help="fraction of already-consumed segments replayed per round",
+    )
+    adapt.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="loop seed (default: 0; --bench: the bench config default)",
+    )
+    adapt.add_argument(
+        "--workloads",
+        default=None,
+        help="(--bench) comma-separated regime-shifting workloads "
+        "(default: multi_phase,drifting_zipf)",
+    )
+    adapt.add_argument(
+        "-n",
+        "--length",
+        type=int,
+        default=2000,
+        help="(--bench) accesses per workload (default: 2000)",
+    )
+    adapt.add_argument(
+        "--adapt-steps",
+        type=int,
+        default=90,
+        help="(--bench) fine-tune steps per adaptation round",
+    )
+    adapt.add_argument(
+        "--segment-records",
+        type=int,
+        default=250,
+        help="(--bench) records per log segment / swap cadence",
+    )
+    adapt.add_argument(
+        "--workdir",
+        default="adapt-bench",
+        help="(--bench) scratch dir for logs + checkpoints",
+    )
+    adapt.add_argument("--out", default=BENCH_FILENAME)
+    adapt.add_argument(
+        "--min-adapted-coverage-gain",
+        type=float,
+        default=None,
+        help="(--bench) fail if any workload's mean adapted-minus-"
+        "frozen post-boundary coverage gain is below this",
+    )
+    adapt.add_argument(
+        "--max-adapt-lag",
+        type=float,
+        default=None,
+        help="(--bench) fail if any workload's worst adaptation lag "
+        "(accesses to recover after a phase shift) exceeds this",
+    )
 
     serve_bench = sub.add_parser(
         "serve-bench",
@@ -581,7 +744,12 @@ def run_training(args: argparse.Namespace) -> int:
             )
     if args.save:
         npz_path, json_path = save_checkpoint(
-            args.save, model, dataset.pc_vocab, dataset.page_vocab
+            args.save,
+            model,
+            dataset.pc_vocab,
+            dataset.page_vocab,
+            train_mode=args.train_mode,
+            seq_len=args.seq_len if sequence else None,
         )
         print(f"saved checkpoint: {npz_path} + {json_path}")
     return 0
@@ -706,6 +874,37 @@ def run_bench_cmd(args: argparse.Namespace) -> int:
 def run_serve(args: argparse.Namespace) -> int:
     trace = parse_trace(args.trace)
     model, pc_vocab, page_vocab = load_checkpoint(args.checkpoint)
+    logger = None
+    on_round = None
+    if args.adapt:
+        if args.adapt_every < 1:
+            raise ValueError(
+                f"--adapt-every must be >= 1, got {args.adapt_every}"
+            )
+        # One serving round submits one access per stream, so a segment
+        # of adapt_every * streams records closes every adapt_every
+        # rounds — each poll sees exactly the just-rotated segment.
+        logger = AccessLogger(
+            args.adapt,
+            segment_records=args.adapt_every * max(args.streams, 1),
+        )
+        loop = AdaptationLoop(
+            args.checkpoint,
+            args.adapt,
+            args.adapt_out or str(Path(args.adapt) / "ckpts"),
+            steps=args.adapt_steps,
+            replay_mix=args.replay_mix,
+            seed=args.seed,
+        )
+
+        def on_round(server, r):
+            if (r + 1) % args.adapt_every == 0:
+                logger.rotate()
+                prefix = loop.poll()
+                if prefix is not None:
+                    version = load_and_swap(server, prefix)
+                    print(f"round {r + 1}: swapped in {prefix} (v{version})")
+
     elapsed, candidates, stats = serve_trace(
         model,
         pc_vocab,
@@ -715,6 +914,8 @@ def run_serve(args: argparse.Namespace) -> int:
         degree=args.degree,
         max_batch=args.max_batch,
         dtype=np.float32 if args.dtype == "float32" else np.float64,
+        logger=logger,
+        on_round=on_round,
     )
     served = sum(len(c) for c in candidates)
     latency = stats["latency"]
@@ -729,6 +930,103 @@ def run_serve(args: argparse.Namespace) -> int:
         f"p95={latency['p95_s'] * 1e6:.1f}us "
         f"max={latency['max_s'] * 1e6:.1f}us"
     )
+    if logger is not None:
+        logger.close()
+        print(
+            f"adapt: logged={logger.logged} dropped={logger.dropped} "
+            f"segments={len(logger.closed_segments())} "
+            f"swaps={stats['swaps']} model_version={stats['model_version']}"
+        )
+    return 0
+
+
+def run_adapt(args: argparse.Namespace) -> int:
+    if args.bench:
+        return _run_adapt_bench(args)
+    missing = [
+        flag
+        for flag, value in (
+            ("--checkpoint", args.checkpoint),
+            ("--log-dir", args.log_dir),
+            ("--out-dir", args.out_dir),
+        )
+        if not value
+    ]
+    if missing:
+        raise ValueError(
+            f"adapt needs {', '.join(missing)} (or --bench for the "
+            "adaptation-lag evaluation)"
+        )
+    if args.rounds < 1:
+        raise ValueError(f"--rounds must be >= 1, got {args.rounds}")
+    loop = AdaptationLoop(
+        args.checkpoint,
+        args.log_dir,
+        args.out_dir,
+        steps=args.steps,
+        batch_size=args.batch_size,
+        lr=args.lr,
+        seq_len=args.seq_len,
+        tbptt=args.tbptt,
+        lr_schedule=args.lr_schedule,
+        replay_mix=args.replay_mix,
+        seed=args.seed if args.seed is not None else 0,
+    )
+    emitted = 0
+    for _ in range(args.rounds):
+        pending = len(loop.pending_segments())
+        prefix = loop.poll()
+        if prefix is None:
+            print(f"no new traffic ({pending} pending segments); stopping")
+            break
+        emitted += 1
+        print(f"emitted {prefix} (from {pending} new segments)")
+    current = loop.current_prefix()
+    print(
+        f"rounds={emitted} consumed_segments={len(loop.consumed)} "
+        f"current={current if current else '<none>'}"
+    )
+    return 0
+
+
+def _run_adapt_bench(args: argparse.Namespace) -> int:
+    defaults = AdaptBenchConfig()
+    config = AdaptBenchConfig(
+        workloads=(
+            tuple(w.strip() for w in args.workloads.split(",") if w.strip())
+            if args.workloads
+            else defaults.workloads
+        ),
+        n=args.length,
+        seed=args.seed if args.seed is not None else defaults.seed,
+        adapt_steps=args.adapt_steps,
+        batch_size=args.batch_size,
+        lr=args.lr,
+        seq_len=args.seq_len,
+        tbptt=args.tbptt,
+        segment_records=args.segment_records,
+        replay_mix=args.replay_mix,
+    )
+    block = run_adaptation_bench(config, workdir=args.workdir)
+    problems = check_adaptation_budget(
+        block,
+        min_gain=args.min_adapted_coverage_gain,
+        max_lag=args.max_adapt_lag,
+    )
+    path, _ = attach_serving({"adaptation": block}, args.out)
+    for name, run in block["workloads"].items():
+        print(
+            f"{name:14s} frozen={run['frozen_coverage']:.4f} "
+            f"adapted={run['adapted_coverage']:.4f} "
+            f"mean_gain={run['mean_gain']:+.4f} "
+            f"max_lag={run['max_lag_accesses']} "
+            f"rounds={run['rounds']} swaps={run['swaps']}"
+        )
+    print(f"wrote {path}")
+    if problems:
+        for problem in problems:
+            print(f"error: adaptation gate: {problem}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -739,7 +1037,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.print_usage(sys.stderr)
         print(
             "error: provide a subcommand: gen, workloads, ingest, train, "
-            "simulate, distill, bench, serve or serve-bench",
+            "simulate, distill, bench, serve, serve-bench or adapt",
             file=sys.stderr,
         )
         return 2
@@ -753,6 +1051,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": run_bench_cmd,
         "serve": run_serve,
         "serve-bench": run_serve_bench,
+        "adapt": run_adapt,
     }
     try:
         return handlers[args.command](args)

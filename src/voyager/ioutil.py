@@ -94,4 +94,34 @@ def atomic_savez(path: Union[str, Path], **arrays: np.ndarray) -> Path:
     return _atomic_write(path, lambda fh: np.savez(fh, **arrays), "wb")
 
 
-__all__ = ["atomic_savez", "atomic_write_text", "round_floats"]
+def write_pointer(path: Union[str, Path], name: str) -> Path:
+    """Atomically publish a one-line pointer file naming ``name``.
+
+    The online-adaptation loop writes each fine-tuned checkpoint under
+    a fresh versioned prefix and then repoints a single ``CURRENT``
+    file at it; because the pointer flips atomically *after* both
+    checkpoint files are fully published, a reader that follows the
+    pointer can never observe a half-written checkpoint — the
+    crash-safety contract hot-swap relies on.
+    """
+    if "\n" in name or "\r" in name:
+        raise ValueError(f"pointer target must be a single line, got {name!r}")
+    return atomic_write_text(path, name + "\n")
+
+
+def read_pointer(path: Union[str, Path]) -> Optional[str]:
+    """Read a :func:`write_pointer` file; ``None`` when absent or empty."""
+    try:
+        text = Path(path).read_text(encoding="utf-8").strip()
+    except FileNotFoundError:
+        return None
+    return text or None
+
+
+__all__ = [
+    "atomic_savez",
+    "atomic_write_text",
+    "read_pointer",
+    "round_floats",
+    "write_pointer",
+]

@@ -278,12 +278,18 @@ def _drive_batched(
     traces: Sequence[Sequence[MemoryAccess]],
     config: LoadGenConfig,
     dtype,
+    logger: Optional[Any] = None,
+    on_round: Optional[Any] = None,
 ) -> Tuple[float, List[List[List[int]]], Dict[str, Any]]:
     """One server, all streams interleaved; one tick per round.
 
     Round ``r`` submits every stream's ``r``-th access and ticks once,
     so each tick coalesces ``streams`` requests into one batched pass —
-    the micro-batching case the subsystem exists for.  Returns
+    the micro-batching case the subsystem exists for.  ``logger`` is
+    handed to the server (served-traffic logging); ``on_round(server,
+    r)`` runs after each round's responses — the ``serve --adapt``
+    hook that rotates logs, fine-tunes and hot-swaps mid-run (responses
+    a swap drains are collected here via ``poll``).  Returns
     ``(elapsed_s, per-stream candidate lists, stats snapshot)``.
     """
     server = PrefetchServer(
@@ -297,6 +303,7 @@ def _drive_batched(
             max_batch=config.max_batch,
         ),
         dtype=dtype,
+        logger=logger,
     )
     sids = [server.open_stream() for _ in traces]
     candidates: List[List[List[int]]] = [[] for _ in traces]
@@ -309,6 +316,12 @@ def _drive_batched(
                 server.submit(sid, traces[i][r].pc, traces[i][r].address)
         for response in server.tick():
             candidates[index[response.stream_id]].append(response.candidates)
+        if on_round is not None:
+            on_round(server, r)
+            for response in server.poll():
+                candidates[index[response.stream_id]].append(
+                    response.candidates
+                )
     while server.pending:  # streams > max_batch leaves a backlog
         for response in server.tick():
             candidates[index[response.stream_id]].append(response.candidates)
@@ -642,12 +655,15 @@ def serve_trace(
     degree: int = 2,
     max_batch: int = 64,
     dtype=np.float64,
+    logger: Optional[Any] = None,
+    on_round: Optional[Any] = None,
 ) -> Tuple[float, List[List[List[int]]], Dict[str, Any]]:
     """Round-robin split one trace into ``streams`` and serve it.
 
     The ``python -m voyager serve`` smoke entry: stream ``i`` gets
-    accesses ``i, i + streams, ...``.  Returns ``(elapsed_s,
-    per-stream candidate lists, stats snapshot)``.
+    accesses ``i, i + streams, ...``.  ``logger``/``on_round`` pass
+    through to the driver for the ``--adapt`` loop.  Returns
+    ``(elapsed_s, per-stream candidate lists, stats snapshot)``.
     """
     split = [list(trace[i::streams]) for i in range(streams)]
     split = [t for t in split if t]  # more streams than accesses
@@ -657,7 +673,16 @@ def serve_trace(
         degree=degree,
         max_batch=max_batch,
     )
-    return _drive_batched(model, pc_vocab, page_vocab, split, config, dtype)
+    return _drive_batched(
+        model,
+        pc_vocab,
+        page_vocab,
+        split,
+        config,
+        dtype,
+        logger=logger,
+        on_round=on_round,
+    )
 
 
 def add_serve_bench_args(parser: argparse.ArgumentParser) -> None:

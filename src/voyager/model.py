@@ -18,6 +18,7 @@ next-access and the spatial/co-occurrence labeling schemes.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -39,7 +40,10 @@ from voyager.traces import NUM_OFFSETS
 from voyager.vocab import Vocab
 
 #: Bumped whenever the checkpoint layout changes incompatibly.
-CHECKPOINT_SCHEMA_VERSION = 1
+#: v2: added ``format_version``, ``train_mode``, ``seq_len`` and
+#: ``vocab_hash`` metadata so hot-swap (:mod:`voyager.adapt`) can reject
+#: incompatible weights before they reach a live tick.
+CHECKPOINT_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -827,19 +831,45 @@ class HierarchicalModel:
 # ----------------------------------------------------------------------
 # checkpointing
 # ----------------------------------------------------------------------
+def vocab_fingerprint(pc_vocab: Vocab, page_vocab: Vocab) -> str:
+    """Stable content hash of both vocab mappings.
+
+    Two checkpoints with equal fingerprints encode every pc/page key to
+    the same id, which is the precondition for hot-swapping weights
+    under live sessions whose feature windows were encoded by the old
+    vocabs (:meth:`voyager.serve.PrefetchServer.swap_checkpoint`).
+    """
+    payload = json.dumps(
+        [pc_vocab.to_dict(), page_vocab.to_dict()],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.blake2s(payload.encode("utf-8")).hexdigest()
+
+
 def save_checkpoint(
     prefix: Union[str, Path],
     model: HierarchicalModel,
     pc_vocab: Vocab,
     page_vocab: Vocab,
+    train_mode: Optional[str] = None,
+    seq_len: Optional[int] = None,
 ) -> Tuple[Path, Path]:
     """Persist a trained model plus its vocabularies.
 
     Writes two sibling files derived from ``prefix``:
 
     - ``<prefix>.npz`` — the raw float64 parameter arrays (bit-exact);
-    - ``<prefix>.vocab.json`` — model config, schema version, and both
-      vocab mappings in id order.
+    - ``<prefix>.vocab.json`` — model config, schema/format version,
+      training provenance (``train_mode``/``seq_len``), a content hash
+      of both vocab mappings (``vocab_hash``), and the mappings
+      themselves in id order.
+
+    ``train_mode``/``seq_len`` record how the weights were produced
+    (``"window"`` or ``"sequence"``; ``seq_len`` only meaningful for
+    sequence training) so consumers — the serving hot-swap path above
+    all — can reject weights trained under an incompatible regime with
+    a clean error instead of a shape mismatch mid-tick.
 
     Both files are written atomically (staged next to the destination,
     published with ``os.replace``), so a run killed mid-save can leave
@@ -855,12 +885,48 @@ def save_checkpoint(
     atomic_savez(npz_path, **model.params)
     meta = {
         "schema_version": CHECKPOINT_SCHEMA_VERSION,
+        "format_version": CHECKPOINT_SCHEMA_VERSION,
         "model_config": asdict(model.config),
+        "train_mode": train_mode,
+        "seq_len": seq_len,
+        "vocab_hash": vocab_fingerprint(pc_vocab, page_vocab),
         "pc_vocab": pc_vocab.to_dict(),
         "page_vocab": page_vocab.to_dict(),
     }
     atomic_write_text(json_path, json.dumps(meta))
     return npz_path, json_path
+
+
+def checkpoint_metadata(prefix: Union[str, Path]) -> Dict[str, object]:
+    """Read and validate a checkpoint's JSON metadata without the arrays.
+
+    Cheap pre-flight for hot-swap compatibility checks: returns the
+    parsed ``<prefix>.vocab.json`` object (config, ``train_mode``,
+    ``seq_len``, ``vocab_hash``, vocab mappings) with the same
+    :class:`FileNotFoundError`/:class:`ValueError` contract as
+    :func:`load_checkpoint`, but skips the ``.npz`` load entirely.
+    """
+    prefix = Path(prefix)
+    json_path = prefix.with_suffix(prefix.suffix + ".vocab.json")
+    if not json_path.exists():
+        raise FileNotFoundError(f"checkpoint metadata {json_path} not found")
+    try:
+        meta = json.loads(json_path.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        raise ValueError(
+            f"checkpoint metadata {json_path} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(meta, dict):
+        raise ValueError(
+            f"checkpoint metadata {json_path}: expected a JSON object"
+        )
+    version = meta.get("schema_version")
+    if version != CHECKPOINT_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint schema {version!r}; "
+            f"this build reads version {CHECKPOINT_SCHEMA_VERSION}"
+        )
+    return meta
 
 
 def load_checkpoint(
@@ -882,22 +948,7 @@ def load_checkpoint(
             f"checkpoint {prefix} incomplete: expected {npz_path.name} "
             f"and {json_path.name} side by side"
         )
-    try:
-        meta = json.loads(json_path.read_text(encoding="utf-8"))
-    except ValueError as exc:
-        raise ValueError(
-            f"checkpoint metadata {json_path} is not valid JSON: {exc}"
-        ) from exc
-    if not isinstance(meta, dict):
-        raise ValueError(
-            f"checkpoint metadata {json_path}: expected a JSON object"
-        )
-    version = meta.get("schema_version")
-    if version != CHECKPOINT_SCHEMA_VERSION:
-        raise ValueError(
-            f"unsupported checkpoint schema {version!r}; "
-            f"this build reads version {CHECKPOINT_SCHEMA_VERSION}"
-        )
+    meta = checkpoint_metadata(prefix)
     try:
         model = HierarchicalModel(ModelConfig(**meta["model_config"]))
         pc_vocab = Vocab.from_dict(meta["pc_vocab"])
@@ -907,6 +958,16 @@ def load_checkpoint(
             f"checkpoint metadata {json_path} is corrupt or incomplete: "
             f"{exc!r}"
         ) from exc
+    recorded_hash = meta.get("vocab_hash")
+    if recorded_hash is not None:
+        actual_hash = vocab_fingerprint(pc_vocab, page_vocab)
+        if recorded_hash != actual_hash:
+            raise ValueError(
+                f"checkpoint metadata {json_path}: vocab_hash "
+                f"{recorded_hash!r} does not match the stored vocab "
+                f"mappings ({actual_hash!r}); the file was edited or "
+                f"corrupted after save"
+            )
     try:
         arrays = np.load(npz_path)
     except Exception as exc:

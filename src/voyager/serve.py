@@ -70,7 +70,7 @@ from __future__ import annotations
 import hashlib
 import time
 from collections import OrderedDict, deque
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple, Union
 
@@ -80,7 +80,7 @@ from voyager.baselines import next_line_candidates
 from voyager.distill import DistilledTable
 from voyager.infer import InferenceEngine, LSTMState
 from voyager.ioutil import atomic_savez
-from voyager.model import HierarchicalModel
+from voyager.model import HierarchicalModel, vocab_fingerprint
 from voyager.sim import decode_block_candidates, page_id_table
 from voyager.traces import MemoryAccess
 from voyager.vocab import Vocab
@@ -280,6 +280,8 @@ class ServerStats:
         self.evicted = 0
         self.spilled = 0  # evictions checkpointed to the spill store
         self.restored = 0  # sessions brought back from the spill store
+        self.swaps = 0  # successful hot-swaps (swap_checkpoint)
+        self.model_version = 0  # bumped once per successful hot-swap
         self.shed_by_class: Dict[str, int] = {q: 0 for q in QOS_CLASSES}
         self.batch_size_hist: Dict[int, int] = {}
         self._reservoir = LatencyReservoir(max_latency_samples, seed)
@@ -326,6 +328,8 @@ class ServerStats:
             "evicted": self.evicted,
             "spilled": self.spilled,
             "restored": self.restored,
+            "swaps": self.swaps,
+            "model_version": self.model_version,
             "batch_size_hist": dict(sorted(self.batch_size_hist.items())),
             "latency": self.latency_percentiles(),
         }
@@ -451,12 +455,20 @@ class PrefetchServer:
         dtype=np.float64,
         clock: Callable[[], float] = time.perf_counter,
         table: Optional[DistilledTable] = None,
+        logger: Optional[Any] = None,
     ):
         self.config = config or ServeConfig()
         # row_exact: batched ticks must reproduce serially driven
         # engines bit for bit per stream (see voyager.infer._mm).
+        self.model = model
         self.engine = InferenceEngine(model, dtype=dtype, row_exact=True)
         self.history = model.config.history
+        # Optional served-traffic logger (duck-typed: anything with a
+        # ``log(pc, address, tick, stream_id)`` method — in practice
+        # :class:`voyager.adapt.AccessLogger`).  ``log`` only buffers;
+        # flushing is the caller's responsibility, so the tick hot path
+        # never blocks on I/O.
+        self.logger = logger
         # Optional distilled table: consulted before the rollout; a
         # context hit answers without any batched forward for that
         # stream (the recurrent state still advances, so a later miss
@@ -699,6 +711,78 @@ class PrefetchServer:
         return out
 
     # ------------------------------------------------------------------
+    # checkpoint hot-swap
+    # ------------------------------------------------------------------
+    def swap_checkpoint(
+        self,
+        model: HierarchicalModel,
+        pc_vocab: Vocab,
+        page_vocab: Vocab,
+    ) -> int:
+        """Install new weights between ticks without dropping sessions.
+
+        Every session's serving state — recurrent ``LSTMState``, the
+        sliding pc-id/feature windows, distilled-table context, access
+        counts — carries over untouched; only the parameter arrays
+        behind the shared engine change.  In-flight requests are
+        drained first on the *old* weights (their responses land in the
+        :meth:`poll` buffer), so no request is ever served by a model
+        it wasn't submitted against.  Under ``row_exact`` the swapped
+        server is bit-identical to a fresh server started on the new
+        checkpoint with the same session states (``tests/test_adapt.py``
+        pins this).
+
+        Incompatible weights are rejected with :class:`ValueError`
+        *before* any server state changes — a failed swap leaves the
+        old checkpoint serving:
+
+        - the new :class:`~voyager.model.ModelConfig` must equal the
+          serving one in every field except ``seed`` (hidden/embed
+          dims, history and vocab sizes shape the carried states and
+          feature windows);
+        - both vocabs must hash identically
+          (:func:`~voyager.model.vocab_fingerprint`) — live feature
+          windows were embedded under the old vocab's ids, so a
+          different mapping would silently misdecode every prediction.
+
+        Returns the new ``model_version`` (also in ``ServerStats``).
+        """
+        old = self.model.config
+        new = model.config
+        mismatched = [
+            field
+            for field, value in asdict(new).items()
+            if field != "seed" and asdict(old)[field] != value
+        ]
+        if mismatched:
+            raise ValueError(
+                "incompatible checkpoint for hot-swap: model config "
+                f"differs on {', '.join(sorted(mismatched))} "
+                f"(serving {old}, offered {new})"
+            )
+        old_hash = vocab_fingerprint(self.pc_vocab, self.page_vocab)
+        new_hash = vocab_fingerprint(pc_vocab, page_vocab)
+        if old_hash != new_hash:
+            raise ValueError(
+                "incompatible checkpoint for hot-swap: vocab mappings "
+                f"differ (serving {old_hash}, offered {new_hash}); live "
+                "sessions encode accesses under the serving vocab"
+            )
+        # In-flight requests finish on the old weights.
+        while self._pending:
+            self._undelivered.extend(self.tick())
+        self.model = model
+        self.engine = InferenceEngine(
+            model, dtype=self.engine.dtype, row_exact=True
+        )
+        self.pc_vocab = pc_vocab
+        self.page_vocab = page_vocab
+        self._page_table = page_id_table(page_vocab)
+        self.stats.swaps += 1
+        self.stats.model_version += 1
+        return self.stats.model_version
+
+    # ------------------------------------------------------------------
     # micro-batching scheduler
     # ------------------------------------------------------------------
     def tick(self) -> List[PrefetchResponse]:
@@ -776,6 +860,13 @@ class PrefetchServer:
             rollout_pcs: List[int] = []
             rollout_seqs: List[int] = []
             for i, (req, session) in enumerate(live):
+                if self.logger is not None:
+                    self.logger.log(
+                        req.access.pc,
+                        req.access.address,
+                        tick=self.stats.ticks,
+                        stream_id=req.stream_id,
+                    )
                 session.accesses += 1
                 session.pc_ids.append(int(pc_ids[i]))
                 session.feats.append(feats[i])

@@ -50,10 +50,12 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Union,
 )
 
 import numpy as np
 
+from voyager.adapt import AccessLogger, load_and_swap
 from voyager.bench import derive_cell_seed
 from voyager.model import HierarchicalModel
 from voyager.serve import (
@@ -123,7 +125,11 @@ class ShardConfig:
     shards with ``max_sessions=64`` holds 256 resident sessions.
     ``spill_dir`` names a root directory; each shard spills under its
     own ``shard-<k>`` subdirectory, so shards can never collide on a
-    checkpoint file.
+    checkpoint file.  ``log_dir`` works the same way for served-traffic
+    logging: each shard writes its own
+    :class:`~voyager.adapt.AccessLogger` segments under
+    ``log_dir/shard-<k>``, so one adaptation loop can watch all shard
+    subdirectories without writers ever sharing a file.
     """
 
     shards: int = 2
@@ -134,6 +140,9 @@ class ShardConfig:
     max_batch: int = 64
     shed_policy: str = "next_line"
     spill_dir: Optional[str] = None
+    log_dir: Optional[str] = None  # per-shard AccessLogger root, or None
+    segment_records: int = 512
+    compress: bool = False
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -142,10 +151,22 @@ class ShardConfig:
             raise ValueError(f"replicas must be >= 1, got {self.replicas}")
         if self.spill_dir is not None and not self.spill_dir:
             raise ValueError("spill_dir must be a non-empty path or None")
+        if self.log_dir is not None and not self.log_dir:
+            raise ValueError("log_dir must be a non-empty path or None")
+        if self.segment_records < 1:
+            raise ValueError(
+                f"segment_records must be >= 1, got {self.segment_records}"
+            )
         # Delegate the rest: a bad degree/max_batch/shed_policy fails
         # here, at configuration time, with ServeConfig's message
         # instead of inside a worker process.
         self.serve_config(0)
+
+    def log_root(self, shard: int) -> Optional[Path]:
+        """This shard's private segment-log directory (or ``None``)."""
+        if self.log_dir is None:
+            return None
+        return Path(self.log_dir) / f"shard-{shard}"
 
     def serve_config(self, shard: int, stats_seed: int = 0) -> ServeConfig:
         """The per-shard server config (own spill subdir, own seed)."""
@@ -172,6 +193,8 @@ def drive_open_loop(
     stream_of: np.ndarray,
     clock=time.perf_counter,
     sleep=time.sleep,
+    swap_after: Optional[int] = None,
+    swap_fn: Optional[Any] = None,
 ) -> Tuple[float, List[List[List[int]]], np.ndarray, Dict[str, Any]]:
     """Serve one shard's requests at their scheduled arrival times.
 
@@ -181,6 +204,14 @@ def drive_open_loop(
     and only sleeps when the next arrival is comfortably in the future
     — an open-loop driver, so a slow tick makes the backlog (and the
     measured queueing latency) grow instead of stalling the workload.
+
+    ``swap_after``/``swap_fn`` implement the coordinated hot-swap: just
+    before request ``swap_after`` is submitted, ``swap_fn(server)`` runs
+    exactly once (``swap_checkpoint`` drains in-flight requests onto the
+    old weights; their responses are collected here via ``poll``), so
+    requests ``< swap_after`` are answered by the old checkpoint and
+    ``>= swap_after`` by the new one — a clean version boundary in
+    arrival order.  ``swap_after == n`` fires after the last response.
 
     Returns ``(elapsed_s, per-stream candidates, latency_s, stats)``
     where ``latency_s[j]`` is completion minus *scheduled arrival* of
@@ -202,9 +233,30 @@ def drive_open_loop(
     submitted = 0
     done = 0
     start = clock()
+
+    def resolve(responses: List[Any], finish: float) -> None:
+        nonlocal done
+        for response in responses:
+            i = index[response.stream_id]
+            j = arrival_pos[i][served[i]]
+            served[i] += 1
+            candidates[i].append(response.candidates)
+            latency_s[j] = finish - arrival_s[j]
+            done += 1
+
+    def maybe_swap() -> None:
+        nonlocal swap_fn
+        if swap_fn is not None and swap_after is not None:
+            if submitted >= swap_after:
+                fn, swap_fn = swap_fn, None
+                fn(server)  # drains in-flight onto the old weights
+                resolve(server.poll(), clock() - start)
+
     while done < n:
+        maybe_swap()
         now = clock() - start
         while submitted < n and arrival_s[submitted] <= now:
+            maybe_swap()
             i = int(stream_of[submitted])
             access = traces[i][next_access[i]]
             next_access[i] += 1
@@ -213,29 +265,36 @@ def drive_open_loop(
         if server.pending:
             responses = server.tick()
             finish = clock() - start
-            for response in responses:
-                i = index[response.stream_id]
-                j = arrival_pos[i][served[i]]
-                served[i] += 1
-                candidates[i].append(response.candidates)
-                latency_s[j] = finish - arrival_s[j]
-                done += 1
+            resolve(responses, finish)
         elif submitted < n:
             wait = arrival_s[submitted] - (clock() - start)
             if wait > 0.002:  # spin for near arrivals, sleep for far ones
                 sleep(wait - 0.001)
+    maybe_swap()  # swap_after == n: every shard still installs the version
     elapsed = clock() - start
     return elapsed, candidates, latency_s, server.stats.snapshot()
 
 
 def _shard_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Serve one shard's streams; module-level so pools can pickle it."""
+    logger = None
+    if payload.get("log_dir"):
+        logger = AccessLogger(
+            payload["log_dir"],
+            segment_records=payload.get("segment_records", 512),
+            compress=payload.get("compress", False),
+        )
+    swap_fn = None
+    if payload.get("swap_prefix"):
+        prefix = payload["swap_prefix"]
+        swap_fn = lambda srv: load_and_swap(srv, prefix)  # noqa: E731
     server = PrefetchServer(
         payload["model"],
         payload["pc_vocab"],
         payload["page_vocab"],
         payload["serve_config"],
         dtype=np.dtype(payload["dtype"]).type,
+        logger=logger,
     )
     elapsed, candidates, latency_s, stats = drive_open_loop(
         server,
@@ -244,9 +303,11 @@ def _shard_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
         payload["traces"],
         payload["arrival_s"],
         payload["stream_of"],
+        swap_after=payload.get("swap_after"),
+        swap_fn=swap_fn,
     )
     requests = int(len(payload["arrival_s"]))
-    return {
+    result = {
         "elapsed_s": elapsed,
         "requests": requests,
         "throughput_per_s": requests / elapsed if elapsed > 0 else 0.0,
@@ -254,6 +315,15 @@ def _shard_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
         "latency_s": latency_s,
         "stats": stats,
     }
+    if logger is not None:
+        logger.close()
+        result["logging"] = {
+            "logged": logger.logged,
+            "flushed": logger.flushed,
+            "dropped": logger.dropped,
+            "segments": len(logger.closed_segments()),
+        }
+    return result
 
 
 def latency_summary(latency_s: np.ndarray) -> Dict[str, float]:
@@ -284,6 +354,7 @@ _MERGED_COUNTERS = (
     "spilled",
     "restored",
     "ticks",
+    "swaps",
 )
 
 
@@ -300,6 +371,8 @@ def run_sharded(
     dtype=np.float64,
     seed: int = 0,
     inline: Optional[bool] = None,
+    swap_at: Optional[int] = None,
+    swap_prefix: Optional[Union[str, Path]] = None,
 ) -> Dict[str, Any]:
     """Partition streams over the ring and serve the open-loop schedule.
 
@@ -311,12 +384,25 @@ def run_sharded(
     are seeded via :func:`~voyager.bench.derive_cell_seed`, so a rerun
     of the same pool shape reports identical percentiles.
 
+    ``swap_at``/``swap_prefix`` coordinate a pool-wide hot-swap: the
+    *global* arrival index ``swap_at`` is translated to each shard's
+    local request count, and every worker installs ``swap_prefix``
+    (via :func:`~voyager.adapt.load_and_swap`) exactly when its own
+    sub-schedule crosses that cutoff — so the pool answers requests
+    ``< swap_at`` on the old checkpoint and ``>= swap_at`` on the new
+    one, the same version boundary a single server would produce.
+    ``config.log_dir`` turns on per-shard served-traffic logging.
+
     Returns the aggregate block: wall time, aggregate req/s, merged
     counters, a shared latency summary over every request, per-shard
     sub-blocks, and ``candidates`` (per global stream, in submit
     order) for equality checks against a single-process run.
     """
     config = config or ShardConfig()
+    if (swap_at is None) != (swap_prefix is None):
+        raise ValueError("swap_at and swap_prefix must be given together")
+    if swap_at is not None and swap_at < 0:
+        raise ValueError(f"swap_at must be >= 0, got {swap_at}")
     if stream_ids is None:
         stream_ids = [f"s{i}" for i in range(len(traces))]
     if qos is None:
@@ -343,6 +429,7 @@ def run_sharded(
         mask = np.array(
             [int(s) in member_set for s in stream_of], dtype=bool
         )
+        log_root = config.log_root(shard)
         payloads.append(
             (
                 shard,
@@ -362,6 +449,19 @@ def run_sharded(
                     "stream_of": np.array(
                         [local[int(s)] for s in stream_of[mask]],
                         dtype=np.int64,
+                    ),
+                    "log_dir": str(log_root) if log_root else None,
+                    "segment_records": config.segment_records,
+                    "compress": config.compress,
+                    # Global arrival cutoff -> this shard's local request
+                    # count before it: the worker swaps exactly there.
+                    "swap_after": (
+                        int(np.count_nonzero(mask[:swap_at]))
+                        if swap_at is not None
+                        else None
+                    ),
+                    "swap_prefix": (
+                        str(swap_prefix) if swap_prefix is not None else None
                     ),
                 },
             )
@@ -389,6 +489,9 @@ def run_sharded(
     counters = {key: 0 for key in _MERGED_COUNTERS}
     shed_by_class = {cls: 0 for cls in QOS_CLASSES}
     per_shard = []
+    model_version = 0
+    logging_totals = {"logged": 0, "flushed": 0, "dropped": 0, "segments": 0}
+    logged_any = False
     for shard, members, result in results:
         for li, g in enumerate(members):
             candidates[g] = result["candidates"][li]
@@ -397,23 +500,30 @@ def run_sharded(
             counters[key] += int(result["stats"].get(key, 0))
         for cls, count in result["stats"].get("shed_by_class", {}).items():
             shed_by_class[cls] = shed_by_class.get(cls, 0) + int(count)
-        per_shard.append(
-            {
-                "shard": shard,
-                "streams": len(members),
-                "requests": result["requests"],
-                "elapsed_s": result["elapsed_s"],
-                "throughput_per_s": result["throughput_per_s"],
-                "latency": latency_summary(result["latency_s"]),
-            }
+        model_version = max(
+            model_version, int(result["stats"].get("model_version", 0))
         )
+        entry = {
+            "shard": shard,
+            "streams": len(members),
+            "requests": result["requests"],
+            "elapsed_s": result["elapsed_s"],
+            "throughput_per_s": result["throughput_per_s"],
+            "latency": latency_summary(result["latency_s"]),
+        }
+        if "logging" in result:
+            logged_any = True
+            entry["logging"] = result["logging"]
+            for key in logging_totals:
+                logging_totals[key] += int(result["logging"][key])
+        per_shard.append(entry)
     merged = (
         np.concatenate(all_latencies)
         if all_latencies
         else np.zeros(0, dtype=np.float64)
     )
     counters["shed_by_class"] = shed_by_class
-    return {
+    report = {
         "shards": config.shards,
         "inline": bool(inline),
         "wall_s": wall_s,
@@ -421,11 +531,15 @@ def run_sharded(
         "aggregate_throughput_per_s": (
             total_requests / wall_s if wall_s > 0 else 0.0
         ),
+        "model_version": model_version,
         "latency": latency_summary(merged),
         "counters": counters,
         "per_shard": per_shard,
         "candidates": candidates,  # popped before serialisation
     }
+    if logged_any:
+        report["logging"] = logging_totals
+    return report
 
 
 __all__ = [

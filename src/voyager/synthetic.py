@@ -15,7 +15,7 @@ name tuple for back-compat.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -24,11 +24,21 @@ from voyager.traces import NUM_OFFSETS, MemoryAccess, join_address
 
 @dataclass(frozen=True)
 class WorkloadSpec:
-    """One registry entry: a named, seeded trace generator."""
+    """One registry entry: a named, seeded trace generator.
+
+    ``boundaries`` is the phase-boundary metadata for regime-shifting
+    workloads: ``boundaries(n, seed)`` returns the exact indices
+    ``[0, c1, ..., n]`` at which the generator switches regimes for a
+    trace of the same ``(n, seed)``.  Adaptation-lag measurement
+    (:mod:`voyager.adapt`) reads these instead of re-deriving shift
+    points heuristically from the trace.  ``None`` means the workload
+    is single-regime (one phase spanning the whole trace).
+    """
 
     name: str
     fn: Callable[[int, int], List[MemoryAccess]]  # (n, seed) -> trace
     description: str
+    boundaries: Optional[Callable[[int, int], List[int]]] = None
 
 
 #: Name -> spec, in registration order (which is also bench-grid order).
@@ -36,12 +46,17 @@ REGISTRY: Dict[str, WorkloadSpec] = {}
 
 
 def register(
-    name: str, fn: Callable[[int, int], List[MemoryAccess]], description: str
+    name: str,
+    fn: Callable[[int, int], List[MemoryAccess]],
+    description: str,
+    boundaries: Optional[Callable[[int, int], List[int]]] = None,
 ) -> None:
     """Register a workload generator under ``name`` (must be unique)."""
     if name in REGISTRY:
         raise ValueError(f"workload {name!r} already registered")
-    REGISTRY[name] = WorkloadSpec(name=name, fn=fn, description=description)
+    REGISTRY[name] = WorkloadSpec(
+        name=name, fn=fn, description=description, boundaries=boundaries
+    )
 
 
 def workload_names() -> Tuple[str, ...]:
@@ -63,6 +78,42 @@ def resolve(workload: str) -> WorkloadSpec:
 def generate(workload: str, n: int, seed: int = 0) -> List[MemoryAccess]:
     """Generate a named workload (see :data:`WORKLOADS` / :data:`REGISTRY`)."""
     return resolve(workload).fn(n, seed)
+
+
+def phase_boundaries(workload: str, n: int, seed: int = 0) -> List[int]:
+    """Phase-boundary indices ``[0, c1, ..., n]`` for a named workload.
+
+    Single-regime workloads (no ``boundaries`` metadata registered)
+    report one phase spanning the whole trace.  For regime-shifting
+    workloads the returned cuts are exactly where
+    ``generate(workload, n, seed)`` switches distributions — the ground
+    truth for adaptation-lag measurement.
+    """
+    spec = resolve(workload)
+    if spec.boundaries is None:
+        return [0, n]
+    return spec.boundaries(n, seed)
+
+
+def _jittered_cuts(
+    rng: np.random.Generator, n: int, phases: int, min_phase: int
+) -> List[int]:
+    """Seeded phase bounds ``[0, c1, ..., n]`` jittered around even splits.
+
+    Shared by every regime-shifting generator AND its registered
+    ``boundaries`` metadata: both draw the cuts as the *first* values
+    from a fresh ``default_rng(seed)``, which is what keeps the
+    metadata bit-exact with the trace without regenerating it.
+    """
+    phases = min(phases, max(1, n // max(min_phase, 1)))
+    seg = n // phases
+    cuts = sorted(
+        {
+            min(max(k * seg + int(rng.integers(-(seg // 4), seg // 4 + 1)), 1), n - 1)
+            for k in range(1, phases)
+        }
+    )
+    return [0] + cuts + [n]
 
 
 def stride_trace(
@@ -165,18 +216,11 @@ def multi_phase_trace(
     if phases < 1:
         raise ValueError("phases must be >= 1")
     rng = np.random.default_rng(seed)
-    phases = min(phases, max(1, n // max(min_phase, 1)))
     # Seeded boundaries: each cut jitters around the even split by up to
     # a quarter segment, so segments stay >= min_phase // 2 but the
-    # shift points move with the seed.
-    seg = n // phases
-    cuts = sorted(
-        {
-            min(max(k * seg + int(rng.integers(-(seg // 4), seg // 4 + 1)), 1), n - 1)
-            for k in range(1, phases)
-        }
-    )
-    bounds = [0] + cuts + [n]
+    # shift points move with the seed.  Drawn first from the rng so
+    # :func:`multi_phase_boundaries` can reproduce them standalone.
+    bounds = _jittered_cuts(rng, n, phases, min_phase)
     trace: List[MemoryAccess] = []
     for k in range(len(bounds) - 1):
         length = bounds[k + 1] - bounds[k]
@@ -215,6 +259,21 @@ def multi_phase_trace(
                 )
             )
     return trace
+
+
+def multi_phase_boundaries(
+    n: int, seed: int = 0, phases: int = 4, min_phase: int = 32
+) -> List[int]:
+    """The exact phase bounds of ``multi_phase_trace(n, seed, ...)``.
+
+    Bit-exact because the trace generator draws its cuts as the first
+    values from the same seeded rng (see :func:`_jittered_cuts`).
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if phases < 1:
+        raise ValueError("phases must be >= 1")
+    return _jittered_cuts(np.random.default_rng(seed), n, phases, min_phase)
 
 
 def interleaved_mix_trace(
@@ -398,6 +457,89 @@ def zipf_db_trace(
     return trace
 
 
+def drifting_zipf_trace(
+    n: int,
+    seed: int = 0,
+    blocks: int = 1024,
+    alpha: float = 1.2,
+    scan_fraction: float = 0.25,
+    scan_len: int = 12,
+    start_page: int = 8192,
+    base_pc: int = 0xA00000,
+    phases: int = 3,
+    min_phase: int = 64,
+) -> List[MemoryAccess]:
+    """``zipf_db`` whose hot set rotates at seeded intervals.
+
+    The access mix is identical to :func:`zipf_db_trace` — zipfian point
+    lookups plus sequential range scans from two fixed PCs — but the
+    rank-to-block *placement* permutation is redrawn at each seeded
+    phase boundary (:func:`_jittered_cuts`), so the handful of hot
+    blocks that dominate the zipf mass physically move across the table
+    while everything else (PCs, popularity law, scan behaviour) stays
+    put.  That is the working-set-rotation regime shift a
+    frozen-checkpoint server cannot follow: post-shift coverage
+    collapses until the model relearns where the mass went, which is
+    exactly the signal adaptation-lag measurement needs.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if blocks < 2:
+        raise ValueError("blocks must be >= 2")
+    if not 0.0 <= scan_fraction <= 1.0:
+        raise ValueError("scan_fraction must be in [0, 1]")
+    if phases < 1:
+        raise ValueError("phases must be >= 1")
+    rng = np.random.default_rng(seed)
+    # Cuts first, from the same rng, so drifting_zipf_boundaries stays
+    # bit-exact with the generated trace.
+    bounds = _jittered_cuts(rng, n, phases, min_phase)
+    ranks = np.arange(1, blocks + 1, dtype=np.float64)
+    pmf = ranks**-alpha
+    pmf /= pmf.sum()
+    pc_lookup = base_pc
+    pc_scan = base_pc + 4
+    trace: List[MemoryAccess] = []
+    for k in range(len(bounds) - 1):
+        end = bounds[k + 1]
+        placement = rng.permutation(blocks)  # this phase's hot-set layout
+        while len(trace) < end:
+            rank = int(rng.choice(blocks, p=pmf))
+            block = int(placement[rank])
+            if rng.random() < scan_fraction:
+                for step in range(min(scan_len, end - len(trace))):
+                    b = (block + step) % blocks
+                    page, offset = divmod(
+                        start_page * NUM_OFFSETS + b, NUM_OFFSETS
+                    )
+                    trace.append(
+                        MemoryAccess.from_pc_address(
+                            pc_scan, join_address(page, offset)
+                        )
+                    )
+            else:
+                page, offset = divmod(
+                    start_page * NUM_OFFSETS + block, NUM_OFFSETS
+                )
+                trace.append(
+                    MemoryAccess.from_pc_address(
+                        pc_lookup, join_address(page, offset)
+                    )
+                )
+    return trace
+
+
+def drifting_zipf_boundaries(
+    n: int, seed: int = 0, phases: int = 3, min_phase: int = 64
+) -> List[int]:
+    """The exact hot-set rotation bounds of ``drifting_zipf_trace``."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if phases < 1:
+        raise ValueError("phases must be >= 1")
+    return _jittered_cuts(np.random.default_rng(seed), n, phases, min_phase)
+
+
 register(
     "stride",
     lambda n, seed: stride_trace(n),
@@ -417,6 +559,7 @@ register(
     "multi_phase",
     lambda n, seed: multi_phase_trace(n, seed=seed),
     "regime-shifting phases with seeded boundaries",
+    boundaries=lambda n, seed: multi_phase_boundaries(n, seed=seed),
 )
 register(
     "interleaved_mix",
@@ -432,6 +575,12 @@ register(
     "zipf_db",
     lambda n, seed: zipf_db_trace(n, seed=seed),
     "zipfian database block accesses: point lookups + range scans",
+)
+register(
+    "drifting_zipf",
+    lambda n, seed: drifting_zipf_trace(n, seed=seed),
+    "zipf_db whose hot set rotates at seeded intervals (drift)",
+    boundaries=lambda n, seed: drifting_zipf_boundaries(n, seed=seed),
 )
 
 #: Names accepted by :func:`generate`, in registration (bench-grid) order.

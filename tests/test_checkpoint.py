@@ -117,3 +117,65 @@ def test_vocab_dict_round_trip_standalone():
 def test_vocab_from_dict_rejects_overflow():
     with pytest.raises(ValueError):
         Vocab.from_dict({"cap": 1, "keys": [1, 2]})
+
+
+def test_metadata_records_training_provenance(trained, tmp_path):
+    from voyager.model import checkpoint_metadata, vocab_fingerprint
+
+    model, dataset = trained
+    save_checkpoint(
+        tmp_path / "ckpt",
+        model,
+        dataset.pc_vocab,
+        dataset.page_vocab,
+        train_mode="sequence",
+        seq_len=24,
+    )
+    meta = checkpoint_metadata(tmp_path / "ckpt")
+    assert meta["schema_version"] == CHECKPOINT_SCHEMA_VERSION
+    assert meta["format_version"] == CHECKPOINT_SCHEMA_VERSION
+    assert meta["train_mode"] == "sequence"
+    assert meta["seq_len"] == 24
+    assert meta["vocab_hash"] == vocab_fingerprint(
+        dataset.pc_vocab, dataset.page_vocab
+    )
+    # Metadata-only read: works with the .npz deleted.
+    (tmp_path / "ckpt.npz").unlink()
+    assert checkpoint_metadata(tmp_path / "ckpt")["seq_len"] == 24
+
+
+def test_metadata_defaults_none_provenance(trained, tmp_path):
+    from voyager.model import checkpoint_metadata
+
+    model, dataset = trained
+    save_checkpoint(
+        tmp_path / "ckpt", model, dataset.pc_vocab, dataset.page_vocab
+    )
+    meta = checkpoint_metadata(tmp_path / "ckpt")
+    assert meta["train_mode"] is None and meta["seq_len"] is None
+
+
+def test_edited_vocab_mapping_rejected_by_hash(trained, tmp_path):
+    model, dataset = trained
+    save_checkpoint(
+        tmp_path / "ckpt", model, dataset.pc_vocab, dataset.page_vocab
+    )
+    json_path = tmp_path / "ckpt.vocab.json"
+    mutated = json.loads(json_path.read_text())
+    # Remap one pc id: the weights still load, but the ids no longer
+    # mean what the hash was computed over.
+    mutated["pc_vocab"]["keys"][0] += 1
+    json_path.write_text(json.dumps(mutated))
+    with pytest.raises(ValueError, match="vocab_hash"):
+        load_checkpoint(tmp_path / "ckpt")
+
+
+def test_vocab_fingerprint_is_order_insensitive_and_content_sensitive():
+    from voyager.model import vocab_fingerprint
+
+    a = Vocab(cap=8).fit([1, 2, 3])
+    b = Vocab(cap=8).fit([1, 2, 3])
+    c = Vocab(cap=8).fit([1, 2, 4])
+    assert vocab_fingerprint(a, a) == vocab_fingerprint(b, b)  # content-keyed
+    assert vocab_fingerprint(a, a) != vocab_fingerprint(c, c)
+    assert vocab_fingerprint(a, c) != vocab_fingerprint(c, a)  # role matters

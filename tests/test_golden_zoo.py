@@ -18,9 +18,16 @@ from voyager.sim import NeuralPrefetcher, SimConfig, make_prefetcher, simulate
 from voyager.synthetic import generate
 from voyager.train import build_dataset, train
 
-#: The four zoo workloads this PR added (the original three are pinned
-#: in test_sim.py's GOLDEN_SIM).
-ZOO = ("multi_phase", "interleaved_mix", "pointer_chase", "zipf_db")
+#: The four workloads the zoo PR added (the original three are pinned
+#: in test_sim.py's GOLDEN_SIM) plus drifting_zipf from the online-
+#: adaptation PR.
+ZOO = (
+    "multi_phase",
+    "interleaved_mix",
+    "pointer_chase",
+    "zipf_db",
+    "drifting_zipf",
+)
 
 ZOO_N = 600
 ZOO_SEED = 11
@@ -36,6 +43,8 @@ GOLDEN_ZOO_BASELINE = {
     ("pointer_chase", "stride"): (600, 600, 0, 0, 0),
     ("zipf_db", "next_line"): (294, 303, 359, 24, 240),
     ("zipf_db", "stride"): (307, 303, 259, 3, 210),
+    ("drifting_zipf", "next_line"): (354, 383, 445, 45, 289),
+    ("drifting_zipf", "stride"): (384, 383, 320, 5, 258),
 }
 
 # workload: (misses, baseline_misses, issued, timely, late) for a small
@@ -46,6 +55,7 @@ GOLDEN_ZOO_NEURAL = {
     "interleaved_mix": (433, 453, 108, 29, 4),
     "pointer_chase": (598, 600, 15, 2, 0),
     "zipf_db": (302, 303, 46, 9, 5),
+    "drifting_zipf": (378, 383, 64, 14, 13),
 }
 
 

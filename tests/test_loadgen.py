@@ -108,7 +108,7 @@ def test_validate_serving_flags_problems(serving):
     del missing["speedup_vs_serial"]
     assert any("speedup_vs_serial" in p for p in validate_serving(missing))
     assert validate_serving({}) == [
-        "serving: neither closed-loop keys nor open_loop present"
+        "serving: none of closed-loop keys, open_loop or adaptation present"
     ]
 
 

@@ -179,3 +179,75 @@ def test_zoo_argument_validation():
         synthetic.zipf_db_trace(10, scan_fraction=1.5)
     with pytest.raises(ValueError):
         synthetic.interleaved_mix_trace(0)
+
+
+# ----------------------------------------------------------------------
+# workload zoo: drifting_zipf + phase-boundary metadata
+# ----------------------------------------------------------------------
+def test_drifting_zipf_rotates_hot_set_at_boundaries():
+    n, seed = 900, 3
+    trace = synthetic.drifting_zipf_trace(n, seed=seed)
+    bounds = synthetic.drifting_zipf_boundaries(n, seed=seed)
+    assert bounds[0] == 0 and bounds[-1] == n and bounds == sorted(bounds)
+    from collections import Counter
+
+    lookup_pc = min(a.pc for a in trace)
+
+    def hot_blocks(lo, hi):
+        counts = Counter(
+            a.block for a in trace[lo:hi] if a.pc == lookup_pc
+        )
+        return {b for b, _ in counts.most_common(5)}
+
+    phases = [
+        hot_blocks(lo, hi) for lo, hi in zip(bounds, bounds[1:])
+    ]
+    # Adjacent phases draw from rotated placements: the hot heads are
+    # (mostly) different sets — that is the drift the workload exists for.
+    for a, b in zip(phases, phases[1:]):
+        assert len(a & b) < len(a)
+
+
+def test_drifting_zipf_boundaries_match_generation_grid():
+    # The boundaries helper redraws the same cuts the generator drew:
+    # same seed => identical grid, without regenerating the trace.
+    for seed in (0, 7, 21):
+        first = synthetic.drifting_zipf_boundaries(700, seed=seed)
+        again = synthetic.drifting_zipf_boundaries(700, seed=seed)
+        assert first == again
+        assert len(first) >= 3  # phases=3 default => 2 interior cuts
+
+
+def test_phase_boundaries_registry_metadata():
+    n, seed = 600, 11
+    assert synthetic.phase_boundaries("multi_phase", n, seed=seed) == (
+        synthetic.multi_phase_boundaries(n, seed=seed)
+    )
+    assert synthetic.phase_boundaries("drifting_zipf", n, seed=seed) == (
+        synthetic.drifting_zipf_boundaries(n, seed=seed)
+    )
+    # Phase-free workloads report the whole trace as one phase.
+    assert synthetic.phase_boundaries("stride", n, seed=seed) == [0, n]
+    spec = synthetic.REGISTRY["multi_phase"]
+    assert spec.boundaries is not None
+    assert synthetic.REGISTRY["stride"].boundaries is None
+
+
+def test_multi_phase_boundaries_align_with_trace_pc_blocks():
+    # multi_phase gives each phase its own PC block; the boundary list
+    # must agree with where the PCs actually change.
+    n, seed = 600, 11
+    trace = synthetic.generate("multi_phase", n, seed=seed)
+    bounds = synthetic.multi_phase_boundaries(n, seed=seed)
+    for cut in bounds[1:-1]:
+        assert trace[cut].pc != trace[cut - 1].pc or (
+            # random-walk phases draw many PCs; require a change within
+            # a small neighborhood instead of exactly at the cut.
+            len({a.pc for a in trace[cut - 3 : cut + 3]}) > 1
+        )
+
+
+def test_drifting_zipf_golden_boundaries():
+    # Exact grid for the golden-zoo seed; movement here means the cut
+    # RNG consumption order changed and every golden counter with it.
+    assert synthetic.drifting_zipf_boundaries(600, seed=11) == [0, 163, 362, 600]
